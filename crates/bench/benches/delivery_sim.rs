@@ -1,0 +1,31 @@
+//! Criterion bench: campaign delivery simulation throughput across audience
+//! sizes (Table 2's inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbsim_adplatform::campaign::Schedule;
+use fbsim_adplatform::delivery::{simulate_delivery, DeliveryModel, MatchedAudience};
+
+fn bench_delivery(c: &mut Criterion) {
+    let model = DeliveryModel::default();
+    let schedule = Schedule::paper_experiment();
+    let mut group = c.benchmark_group("delivery_sim");
+    for &others in &[0u64, 150, 10_000, 3_000_000] {
+        group.bench_with_input(BenchmarkId::new("audience", others), &others, |b, &others| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                simulate_delivery(
+                    &model,
+                    MatchedAudience { target_matches: true, others },
+                    &schedule,
+                    10.0,
+                    seed,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delivery);
+criterion_main!(benches);

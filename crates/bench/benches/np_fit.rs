@@ -1,0 +1,37 @@
+//! Criterion bench: the N_P fit and its bootstrap (Table 1's inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uniqueness::np::estimate_np;
+use uniqueness::{fit_np, AudienceVectors, SelectionStrategy};
+
+fn synthetic_vectors(users: usize) -> AudienceVectors {
+    let rows: Vec<Vec<f64>> = (0..users)
+        .map(|u| {
+            let jitter = 1.0 + 0.2 * ((u as f64 * 2.399).sin());
+            (1..=25)
+                .map(|n| (10f64.powf(7.76 - 7.09 * ((n + 1) as f64).log10()) * jitter).max(20.0))
+                .collect()
+        })
+        .collect();
+    AudienceVectors::from_rows(SelectionStrategy::Random, 20, rows)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let vectors = synthetic_vectors(2_390);
+    let v50 = vectors.v_as(50.0);
+    c.bench_function("np_fit/single_fit", |b| {
+        b.iter(|| fit_np(std::hint::black_box(&v50), 20.0).unwrap())
+    });
+    c.bench_function("np_fit/v_as_quantiles", |b| {
+        b.iter(|| vectors.v_as(std::hint::black_box(90.0)))
+    });
+    let mut group = c.benchmark_group("np_fit/bootstrap");
+    group.sample_size(10);
+    group.bench_function("replicates_200", |b| {
+        b.iter(|| estimate_np(std::hint::black_box(&vectors), 0.9, 200, 7).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: the conjunction-reach engine (the hot path behind every
+//! table and figure) across panel sizes and conjunction depths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbsim_population::{InterestId, World, WorldConfig};
+
+fn bench_reach(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reach_engine");
+    group.sample_size(10);
+    for &panel in &[5_000u32, 20_000] {
+        let mut cfg = WorldConfig::test_scale(1);
+        cfg.panel_size = panel;
+        let world = World::generate(cfg).unwrap();
+        let engine = world.reach_engine();
+        let ids: Vec<InterestId> = (0..25).map(|i| InterestId(i * 7)).collect();
+        group.bench_with_input(BenchmarkId::new("single", panel), &panel, |b, _| {
+            b.iter(|| engine.single_reach(std::hint::black_box(InterestId(3))))
+        });
+        group.bench_with_input(BenchmarkId::new("conjunction_10", panel), &panel, |b, _| {
+            b.iter(|| engine.conjunction_reach(std::hint::black_box(&ids[..10])))
+        });
+        group.bench_with_input(BenchmarkId::new("nested_25", panel), &panel, |b, _| {
+            b.iter(|| engine.nested_reaches(std::hint::black_box(&ids)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reach);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: LP vs random sequence construction over realistic
+//! interest-list sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbsim_population::{World, WorldConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uniqueness::selection::{select_sequence, SelectionStrategy};
+
+fn bench_selection(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::test_scale(5)).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("selection");
+    for &n in &[50usize, 426, 1_500] {
+        let user = world.materializer().sample_user_with_count(&mut rng, n);
+        for strategy in [SelectionStrategy::LeastPopular, SelectionStrategy::Random] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.label(), n),
+                &user,
+                |b, user| {
+                    let mut inner = StdRng::seed_from_u64(2);
+                    b.iter(|| select_sequence(user, world.catalog(), strategy, &mut inner))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 10: N(LP)_0.9 and N(R)_0.9 by country (countries with >100
+//! cohort users).
+//!
+//! Paper reference (LP, R): ES 4.29 / 21.7, FR 4.21 / 19.28,
+//! MX 3.96 / 22.05, AR 4.03 / 24.49.
+
+use fbsim_adplatform::reach::{AdsManagerApi, ReportingEra};
+use uniqueness::demographics::{country_analysis_with_min, MIN_COUNTRY_USERS};
+
+fn main() {
+    let (scale, world) = bench::build_world();
+    let cohort = bench::build_cohort(&world, scale);
+    let api = AdsManagerApi::new(&world, ReportingEra::Early2017);
+    // Scale the >100-user minimum with the cohort size.
+    let min = (MIN_COUNTRY_USERS * cohort.len() / 2_390).max(20);
+    let groups = country_analysis_with_min(
+        &api,
+        &cohort,
+        scale.bootstrap_replicates() / 10,
+        bench::seed_from_env(),
+        min,
+    )
+    .expect("country groups fit");
+    println!("== Figure 10: uniqueness by country (≥{min} users) ==");
+    let paper = [
+        ("ES", 4.29, 21.70),
+        ("FR", 4.21, 19.28),
+        ("MX", 3.96, 22.05),
+        ("AR", 4.03, 24.49),
+    ];
+    for g in &groups {
+        println!("\n{} ({} users):", g.group, g.users);
+        match paper.iter().find(|(n, _, _)| *n == g.group) {
+            Some(&(_, lp_ref, r_ref)) => {
+                bench::compare("  N(LP)_0.9", lp_ref, g.lp.value);
+                bench::compare("  N(R)_0.9", r_ref, g.random.value);
+            }
+            None => {
+                println!("  N(LP)_0.9 measured {:.2}", g.lp.value);
+                println!("  N(R)_0.9  measured {:.2}", g.random.value);
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Figure 1: CDF of the number of interests assigned to cohort users.
+//!
+//! Paper reference: 2,390 users, median 426 interests, range 1–8,950.
+
+use fbsim_stats::Ecdf;
+
+fn main() {
+    let (scale, world) = bench::build_world();
+    let cohort = bench::build_cohort(&world, scale);
+    let counts = cohort.interests_per_user();
+    let ecdf = Ecdf::new(&counts).expect("non-empty cohort");
+    println!("== Figure 1: interests per user (CDF) ==");
+    println!("users: {}", cohort.len());
+    bench::compare("median", 426.0, ecdf.quantile(0.5).unwrap());
+    bench::compare("min", 1.0, ecdf.min());
+    bench::compare("max", 8_950.0, ecdf.max());
+    println!("\n#interests  F(x)");
+    for (x, p) in ecdf.sampled_series(20) {
+        println!("{x:>10.0}  {p:.2}");
+    }
+}

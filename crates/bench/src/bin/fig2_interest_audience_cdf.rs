@@ -1,0 +1,23 @@
+//! Figure 2: CDF of the audience size of the catalog's interests.
+//!
+//! Paper reference percentiles: p25 = 113,193; p50 = 418,530;
+//! p75 = 1,719,925 over 99k unique interests.
+
+use fbsim_population::calibration::measured_single_audiences;
+use fbsim_stats::histogram::LogHistogram;
+use fbsim_stats::Ecdf;
+
+fn main() {
+    let (_scale, world) = bench::build_world();
+    let audiences = measured_single_audiences(world.catalog(), world.panel());
+    let ecdf = Ecdf::new(&audiences).expect("non-empty catalog");
+    println!("== Figure 2: interest audience sizes (CDF) ==");
+    println!("interests: {}", audiences.len());
+    bench::compare("p25", 113_193.0, ecdf.quantile(0.25).unwrap());
+    bench::compare("p50", 418_530.0, ecdf.quantile(0.50).unwrap());
+    bench::compare("p75", 1_719_925.0, ecdf.quantile(0.75).unwrap());
+    println!("\naudience-size histogram (log bins):");
+    let mut hist = LogHistogram::new(20.0, 1e9, 1);
+    hist.record_all(audiences.iter().copied());
+    print!("{}", hist.render(40));
+}

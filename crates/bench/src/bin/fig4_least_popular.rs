@@ -1,0 +1,30 @@
+//! Figure 4: V_AS(Q) and fits for least-popular selection,
+//! Q ∈ {50, 80, 90, 95}.
+//!
+//! Paper reference: N(LP) = 2.74 / 3.96 / 4.16 / 5.89.
+
+use fbsim_adplatform::reach::{AdsManagerApi, ReportingEra};
+use fbsim_population::MaterializedUser;
+use uniqueness::{fit_np, AudienceVectors, SelectionStrategy};
+
+fn main() {
+    let (scale, world) = bench::build_world();
+    let cohort = bench::build_cohort(&world, scale);
+    let api = AdsManagerApi::new(&world, ReportingEra::Early2017);
+    let profiles: Vec<&MaterializedUser> = cohort.users.iter().map(|u| &u.profile).collect();
+    let vectors = AudienceVectors::collect(
+        &api,
+        &profiles,
+        SelectionStrategy::LeastPopular,
+        bench::seed_from_env(),
+    );
+    println!("== Figure 4: least-popular selection ==");
+    let paper = [(50.0, 2.74), (80.0, 3.96), (90.0, 4.16), (95.0, 5.89)];
+    for (q, reference) in paper {
+        let v = vectors.v_as(q);
+        let fit = fit_np(&v, 20.0).expect("LP fit");
+        let head: Vec<String> = v.iter().take(8).map(|x| format!("{x:.0}")).collect();
+        println!("Q={q:>2}: V_AS[1..8] = {head:?}");
+        bench::compare(&format!("N(LP)_{:.2}", q / 100.0), reference, fit.np);
+    }
+}

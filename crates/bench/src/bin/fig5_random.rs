@@ -1,0 +1,29 @@
+//! Figure 5: V_AS(Q) and fits for random selection, Q ∈ {50, 80, 90, 95}.
+//!
+//! Paper reference: N(R) = 11.41 / 17.31 / 22.21 / 26.98.
+
+use fbsim_adplatform::reach::{AdsManagerApi, ReportingEra};
+use fbsim_population::MaterializedUser;
+use uniqueness::{fit_np, AudienceVectors, SelectionStrategy};
+
+fn main() {
+    let (scale, world) = bench::build_world();
+    let cohort = bench::build_cohort(&world, scale);
+    let api = AdsManagerApi::new(&world, ReportingEra::Early2017);
+    let profiles: Vec<&MaterializedUser> = cohort.users.iter().map(|u| &u.profile).collect();
+    let vectors = AudienceVectors::collect(
+        &api,
+        &profiles,
+        SelectionStrategy::Random,
+        bench::seed_from_env(),
+    );
+    println!("== Figure 5: random selection ==");
+    let paper = [(50.0, 11.41), (80.0, 17.31), (90.0, 22.21), (95.0, 26.98)];
+    for (q, reference) in paper {
+        let v = vectors.v_as(q);
+        let fit = fit_np(&v, 20.0).expect("R fit");
+        let head: Vec<String> = v.iter().take(8).map(|x| format!("{x:.0}")).collect();
+        println!("Q={q:>2}: V_AS[1..8] = {head:?}");
+        bench::compare(&format!("N(R)_{:.2}", q / 100.0), reference, fit.np);
+    }
+}

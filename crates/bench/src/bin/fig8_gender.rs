@@ -1,0 +1,25 @@
+//! Figure 8: N(LP)_0.9 and N(R)_0.9 by gender.
+//!
+//! Paper reference: men 4.16 / 21.92, women 4.20 / 23.80.
+
+use fbsim_adplatform::reach::{AdsManagerApi, ReportingEra};
+use uniqueness::demographics::gender_analysis;
+
+fn main() {
+    let (scale, world) = bench::build_world();
+    let cohort = bench::build_cohort(&world, scale);
+    let api = AdsManagerApi::new(&world, ReportingEra::Early2017);
+    let groups = gender_analysis(&api, &cohort, scale.bootstrap_replicates() / 10, bench::seed_from_env())
+        .expect("gender groups fit");
+    println!("== Figure 8: uniqueness by gender ==");
+    let paper = [("men", 4.16, 21.92), ("women", 4.20, 23.80)];
+    for g in &groups {
+        let (_, lp_ref, r_ref) = paper.iter().find(|(n, _, _)| *n == g.group).copied().unwrap();
+        println!("\n{} ({} users):", g.group, g.users);
+        bench::compare("  N(LP)_0.9", lp_ref, g.lp.value);
+        bench::compare("  N(R)_0.9", r_ref, g.random.value);
+        if let (Some(lc), Some(rc)) = (g.lp.ci95, g.random.ci95) {
+            println!("  CI95: LP ({:.2},{:.2})  R ({:.2},{:.2})", lc.lo, lc.hi, rc.lo, rc.hi);
+        }
+    }
+}

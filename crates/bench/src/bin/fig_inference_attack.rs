@@ -1,0 +1,53 @@
+//! Korolova-style attribute inference (§7.2.1): with a pinning audience,
+//! probe campaigns act as an oracle for the target's private attributes —
+//! and the §8.3 active-audience minimum shuts the oracle down.
+
+use fbsim_adplatform::campaign::CampaignManager;
+use fbsim_adplatform::delivery::DeliveryModel;
+use fbsim_adplatform::policy::{CurrentFbPolicy, MinActiveAudiencePolicy};
+use fbsim_adplatform::reach::{AdsManagerApi, ReportingEra};
+use nanotarget::inference::{infer_age_band, pinning_set, AGE_PROBES};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (_scale, world) = bench::build_world();
+    let mut rng = StdRng::seed_from_u64(bench::seed_from_env());
+    let target = world.materializer().sample_user(&mut rng);
+    let pins = pinning_set(&target, world.catalog(), 6);
+    let truth = (20u8, 39u8);
+    println!("== Attribute-inference attack (Korolova 2010 / §7.2.1) ==");
+    println!(
+        "target pinned by their {} least popular interests; true age band {}-{}\n",
+        pins.len(),
+        truth.0,
+        truth.1
+    );
+
+    let api = AdsManagerApi::new(&world, ReportingEra::Post2018);
+    let mut current = CampaignManager::new(api, CurrentFbPolicy, DeliveryModel::default());
+    let result = infer_age_band(&mut current, &mut rng, &pins, truth);
+    println!("under the current policy:");
+    for p in &result.probes {
+        println!(
+            "  probe {:>2}-{:<2}: {}",
+            p.age_range.0,
+            p.age_range.1,
+            if p.delivered { "DELIVERED → target is in this band" } else { "silent" }
+        );
+    }
+    match result.inferred {
+        Some((lo, hi)) => println!("  → inferred age band: {lo}-{hi}"),
+        None => println!("  → inconclusive this run (delivery noise); re-run probes"),
+    }
+
+    let api = AdsManagerApi::new(&world, ReportingEra::Post2018);
+    let mut protected =
+        CampaignManager::new(api, MinActiveAudiencePolicy::paper_proposal(), DeliveryModel::default());
+    let result = infer_age_band(&mut protected, &mut rng, &pins, truth);
+    println!(
+        "\nunder the §8.3 active-audience minimum: {}/{} probes rejected at launch → oracle closed",
+        result.blocked,
+        AGE_PROBES.len()
+    );
+}

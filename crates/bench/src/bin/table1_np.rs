@@ -1,0 +1,30 @@
+//! Table 1: N(LP)_P and N(R)_P for P ∈ {0.5, 0.8, 0.9, 0.95} with 95%
+//! bootstrap CIs and R².
+//!
+//! Paper reference:
+//!   N(LP)_P : 2.74 / 3.96 / 4.16  / 5.89
+//!   N(R)_P  : 11.41 / 17.31 / 22.21 / 26.98
+
+use fbsim_adplatform::reach::{AdsManagerApi, ReportingEra};
+use fbsim_population::MaterializedUser;
+use uniqueness::np::NpTable;
+use uniqueness::{AudienceVectors, SelectionStrategy};
+
+fn main() {
+    let (scale, world) = bench::build_world();
+    let cohort = bench::build_cohort(&world, scale);
+    let api = AdsManagerApi::new(&world, ReportingEra::Early2017);
+    let profiles: Vec<&MaterializedUser> = cohort.users.iter().map(|u| &u.profile).collect();
+    let seed = bench::seed_from_env();
+    eprintln!("[run] collecting LP vectors…");
+    let lp = AudienceVectors::collect(&api, &profiles, SelectionStrategy::LeastPopular, seed);
+    eprintln!("[run] collecting R vectors…");
+    let random = AudienceVectors::collect(&api, &profiles, SelectionStrategy::Random, seed);
+    eprintln!("[run] fitting with {} bootstrap replicates…", scale.bootstrap_replicates());
+    let table = NpTable::build(&lp, &random, scale.bootstrap_replicates(), seed).expect("table fits");
+    println!("== Table 1 ==");
+    print!("{}", table.render());
+    println!("\npaper reference:");
+    println!("N(LP)_P    | 2.74 (2.72,2.75) | 3.96 (3.91,4.02) | 4.16 (4.09,4.37) | 5.89 (5.62,6.15)");
+    println!("N(R)_P     | 11.41 (11.21,11.6) | 17.31 (16.98,17.6) | 22.21 (21.73,22.69) | 26.98 (26.34,27.68)");
+}

@@ -1,0 +1,14 @@
+//! Table 3: the 50-country targeting universe (1.5B users, 81% of FB in
+//! January 2017).
+
+use fbsim_population::countries::{universe_total_millions, TARGETING_UNIVERSE};
+
+fn main() {
+    println!("== Table 3: top-50 countries by FB users (January 2017) ==");
+    println!("{:<4} {:<20} {:>10}", "code", "country", "users (M)");
+    for entry in &TARGETING_UNIVERSE {
+        println!("{:<4} {:<20} {:>10.1}", entry.code, entry.name, entry.users_millions);
+    }
+    println!("\ntotal: {:.0}M users", universe_total_millions());
+    bench::compare("total (B)", 1.5, universe_total_millions() / 1_000.0);
+}

@@ -1,0 +1,20 @@
+//! Table 4: per-country breakdown of the generated FDVT cohort vs the
+//! paper's published counts.
+
+use fbsim_fdvt::dataset::COHORT_COUNTRIES;
+use fbsim_population::countries::CountryCode;
+
+fn main() {
+    let (scale, world) = bench::build_world();
+    let cohort = bench::build_cohort(&world, scale);
+    println!("== Table 4: cohort users per country ==");
+    println!("{:<4} {:>8} {:>8}", "code", "paper", "cohort");
+    let factor = cohort.len() as f64 / 2_390.0;
+    let mut shown = 0;
+    for &(code, paper_count) in COHORT_COUNTRIES.iter() {
+        let generated = cohort.by_country(CountryCode::new(code)).len();
+        println!("{code:<4} {paper_count:>8} {generated:>8}");
+        shown += generated;
+    }
+    println!("\ntotal generated: {shown} (scale factor {factor:.3} of the paper's 2,390)");
+}

@@ -1,0 +1,51 @@
+//! §8.3 countermeasure evaluation (extension table): replaying the
+//! 21-campaign experiment under the proposed policies, plus the
+//! custom-audience padding bypass.
+
+use fbsim_population::MaterializedUser;
+use nanotarget::countermeasures::{evaluate_all, evaluate_custom_audience_bypass};
+use nanotarget::{run_experiment, ExperimentConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (_scale, world) = bench::build_world();
+    let mut rng = StdRng::seed_from_u64(bench::seed_from_env() ^ 0x7A26);
+    let materializer = world.materializer();
+    let mut targets: Vec<MaterializedUser> = Vec::new();
+    while targets.len() < 3 {
+        let user = materializer.sample_user(&mut rng);
+        if user.interests.len() >= 22 {
+            targets.push(user);
+        }
+    }
+    let refs: Vec<&MaterializedUser> = targets.iter().collect();
+    let config = ExperimentConfig { seed: bench::seed_from_env(), ..ExperimentConfig::default() };
+    let result = run_experiment(&world, &refs, &config).expect("experiment runs");
+    println!("== Countermeasure evaluation (§8.3) ==");
+    println!(
+        "baseline (current FB policy): {}/21 campaigns nanotargeted successfully\n",
+        result.successes().len()
+    );
+    println!(
+        "{:<26} {:>12} {:>22}",
+        "policy", "blocked/21", "successes blocked"
+    );
+    for eval in evaluate_all(&world, &result) {
+        println!(
+            "{:<26} {:>9}/21 {:>12}/{} {}",
+            eval.policy,
+            eval.blocked,
+            eval.successes_blocked,
+            eval.successes_total,
+            if eval.blocks_all_successes() { "✓ blocks all" } else { "✗ leaks" }
+        );
+    }
+    let bypass = evaluate_custom_audience_bypass();
+    println!("\ncustom-audience padding bypass (99 unreachable + 1 target):");
+    println!(
+        "  current 100-record rule: {}   §8.3 active-minimum (1,000): {}",
+        if bypass.passes_current_rule { "PASSES (vulnerable)" } else { "blocked" },
+        if bypass.passes_active_minimum { "PASSES (vulnerable)" } else { "BLOCKED" },
+    );
+}

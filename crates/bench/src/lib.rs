@@ -1,0 +1,138 @@
+//! Shared scaffolding for the table/figure regeneration binaries and the
+//! Criterion benches.
+//!
+//! Every binary honours the `UOF_SCALE` environment variable:
+//!
+//! * `test` — the tiny world used by unit tests (seconds).
+//! * `medium` (default) — the paper's 1.5B-user universe with a reduced
+//!   Monte-Carlo panel and cohort, sized for a single-core machine
+//!   (a few minutes per binary).
+//! * `paper` — full paper scale: 99k interests, 200k panel users, the
+//!   2,390-user cohort and 10,000 bootstrap replicates.
+//!
+//! `UOF_SEED` overrides the master seed (default 2021).
+
+use fbsim_fdvt::dataset::CohortConfig;
+use fbsim_fdvt::FdvtDataset;
+use fbsim_population::{World, WorldConfig};
+
+/// Scale preset for a regeneration run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Unit-test scale.
+    Test,
+    /// Paper universe, reduced panel/cohort (default).
+    Medium,
+    /// Full paper scale.
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from `UOF_SCALE`.
+    pub fn from_env() -> Self {
+        match std::env::var("UOF_SCALE").as_deref() {
+            Ok("test") => Scale::Test,
+            Ok("paper") => Scale::Paper,
+            Ok("medium") | Err(_) => Scale::Medium,
+            Ok(other) => {
+                eprintln!("unknown UOF_SCALE={other:?}, using medium");
+                Scale::Medium
+            }
+        }
+    }
+
+    /// The world configuration for this scale.
+    pub fn world_config(self, seed: u64) -> WorldConfig {
+        match self {
+            Scale::Test => WorldConfig::test_scale(seed),
+            Scale::Medium => WorldConfig {
+                panel_size: 50_000,
+                ..WorldConfig::paper_scale(seed)
+            },
+            Scale::Paper => WorldConfig::paper_scale(seed),
+        }
+    }
+
+    /// Cohort size for this scale.
+    pub fn cohort_size(self) -> u32 {
+        match self {
+            Scale::Test => 239,
+            Scale::Medium => 600,
+            Scale::Paper => 2_390,
+        }
+    }
+
+    /// Bootstrap replicates for this scale (the paper uses 10,000).
+    pub fn bootstrap_replicates(self) -> usize {
+        match self {
+            Scale::Test => 200,
+            Scale::Medium => 1_000,
+            Scale::Paper => 10_000,
+        }
+    }
+}
+
+/// Master seed from `UOF_SEED` (default 2021, the publication year).
+pub fn seed_from_env() -> u64 {
+    std::env::var("UOF_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2021)
+}
+
+/// Builds the world for the environment-selected scale, logging progress.
+pub fn build_world() -> (Scale, World) {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    eprintln!("[setup] scale {scale:?}, seed {seed}: generating world…");
+    let start = std::time::Instant::now();
+    let world = World::generate(scale.world_config(seed)).expect("preset configs are valid");
+    eprintln!(
+        "[setup] world ready in {:.1?} (calibration median error {:.3})",
+        start.elapsed(),
+        world.calibration().median_rel_error
+    );
+    (scale, world)
+}
+
+/// Builds the FDVT cohort for a world at the given scale.
+pub fn build_cohort(world: &World, scale: Scale) -> FdvtDataset {
+    let start = std::time::Instant::now();
+    let cohort = FdvtDataset::generate(
+        world,
+        CohortConfig {
+            size: scale.cohort_size(),
+            seed: seed_from_env() ^ 0xC0_0047,
+            demographic_effects: true,
+        },
+    );
+    eprintln!("[setup] cohort of {} users in {:.1?}", cohort.len(), start.elapsed());
+    cohort
+}
+
+/// Prints a two-column paper-vs-measured comparison line.
+pub fn compare(label: &str, paper: f64, measured: f64) {
+    println!("{label:<18} paper {paper:>10.2}   measured {measured:>10.2}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_configs_are_valid() {
+        for scale in [Scale::Test, Scale::Medium, Scale::Paper] {
+            assert!(scale.world_config(1).validate().is_ok());
+            assert!(scale.cohort_size() > 0);
+            assert!(scale.bootstrap_replicates() > 0);
+        }
+    }
+
+    #[test]
+    fn paper_scale_is_full_size() {
+        let cfg = Scale::Paper.world_config(1);
+        assert_eq!(cfg.panel_size, 200_000);
+        assert_eq!(Scale::Paper.cohort_size(), 2_390);
+        assert_eq!(Scale::Paper.bootstrap_replicates(), 10_000);
+    }
+}

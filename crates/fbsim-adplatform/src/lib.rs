@@ -1,0 +1,48 @@
+//! # fbsim-adplatform
+//!
+//! Simulated Facebook advertising platform for the *Unique on Facebook*
+//! (IMC 2021) reproduction.
+//!
+//! This crate wraps the population model's reach oracle in the interfaces
+//! the paper actually interacted with:
+//!
+//! * [`targeting`] — audience definitions with FB's validation rules
+//!   (compulsory location, ≤50 locations, ≤25 interests, optional
+//!   gender/age).
+//! * [`reach`] — the *Potential Reach* endpoint with the era-dependent
+//!   reporting floor (20 in the January-2017 dataset regime, 100 with the
+//!   workaround of Gendronneau et al., 1,000 since 2018) and the "audience
+//!   too narrow" advisory.
+//! * [`campaign`] — campaign lifecycle: creativities with landing pages,
+//!   budgets, multi-window schedules, launch/stop, dashboard stats.
+//! * [`delivery`] — a discrete-event ad-delivery simulator whose auction,
+//!   pacing, frequency and cost constants are fitted to the paper's
+//!   Table 2 (e.g. the CPM–audience-size power law).
+//! * [`custom_audience`] — PII-list audiences with the 100-record minimum
+//!   and the known padding bypass, used to evaluate countermeasures.
+//! * [`transparency`] — "Why am I seeing this ad?" records.
+//! * [`policy`] — pluggable platform policies: current FB behaviour and the
+//!   paper's §8.3 countermeasure proposals.
+//!
+//! The delivery simulator is deliberately *not* a faithful model of FB's
+//! auction internals (which are unobservable); it is the smallest generative
+//! process that reproduces the observable quantities the paper reports per
+//! campaign: whether the target saw the ad, unique users reached, total
+//! impressions, time-to-first-impression, cost, and clicks.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod custom_audience;
+pub mod delivery;
+pub mod policy;
+pub mod reach;
+pub mod targeting;
+pub mod transparency;
+
+pub use campaign::{CampaignId, CampaignManager, CampaignSpec, CampaignState, Creativity, Schedule};
+pub use delivery::{DeliveryModel, DeliveryReport};
+pub use policy::{PlatformPolicy, PolicyViolation};
+pub use reach::{AdsManagerApi, PotentialReach, ReportingEra};
+pub use targeting::{Gender, TargetingError, TargetingSpec};

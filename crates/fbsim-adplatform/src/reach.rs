@@ -1,0 +1,268 @@
+//! The *Potential Reach* endpoint.
+//!
+//! Section 2.1: the FB Ads Campaign Manager reports the number of monthly
+//! active users matching an audience, but never below a privacy floor — 20
+//! when the paper's dataset was collected (January 2017), 1,000 since 2018,
+//! and effectively 100 for researchers using the workaround of Gendronneau
+//! et al. The floor is exactly the censoring the paper's `N_P` estimator has
+//! to extrapolate through, so it is a first-class concept here.
+
+use fbsim_population::reach::CountryFilter;
+use fbsim_population::World;
+use serde::{Deserialize, Serialize};
+
+use crate::targeting::{Gender, TargetingSpec};
+
+/// Which reporting regime the endpoint emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReportingEra {
+    /// January 2017 (the paper's dataset): floor of 20 users.
+    Early2017,
+    /// Post-2018 with the minimum-reach workaround of Gendronneau et al.:
+    /// effective floor of 100 users.
+    Workaround100,
+    /// Post-2018 standard behaviour: floor of 1,000 users.
+    Post2018,
+}
+
+impl ReportingEra {
+    /// The minimum audience size the endpoint will report.
+    pub fn floor(self) -> u64 {
+        match self {
+            ReportingEra::Early2017 => 20,
+            ReportingEra::Workaround100 => 100,
+            ReportingEra::Post2018 => 1_000,
+        }
+    }
+}
+
+/// A reported potential reach.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PotentialReach {
+    /// The reported number of matching monthly active users (never below
+    /// the era's floor).
+    pub reported: u64,
+    /// Whether the floor masked a smaller true value.
+    pub floored: bool,
+    /// Whether the dashboard would show the "your audience is too narrow"
+    /// advisory (shown near the floor; the paper saw it once across its 21
+    /// campaign audiences).
+    pub too_narrow_warning: bool,
+}
+
+/// Fraction of users matching a gender refinement. The world model does not
+/// carry gender on latent panel users, so the endpoint applies FB-wide
+/// population shares under an independence assumption (documented
+/// substitution — the paper's own campaigns never refined by gender).
+fn gender_fraction(gender: Option<Gender>) -> f64 {
+    match gender {
+        None => 1.0,
+        Some(Gender::Male) => 0.56,
+        Some(Gender::Female) => 0.44,
+    }
+}
+
+/// Fraction of users matching an age-range refinement, from a coarse FB-wide
+/// age pyramid over the 13–65 span (independence assumption, as for gender).
+fn age_fraction(range: Option<(u8, u8)>) -> f64 {
+    let Some((lo, hi)) = range else { return 1.0 };
+    // Piecewise-uniform shares per band: 13-19 : 11%, 20-39 : 54%,
+    // 40-64 : 30%, 65 : 5% (matching the adult-skewed FB pyramid).
+    let bands = [(13u8, 19u8, 0.11), (20, 39, 0.54), (40, 64, 0.30), (65, 65, 0.05)];
+    let mut fraction = 0.0;
+    for (blo, bhi, share) in bands {
+        let overlap_lo = lo.max(blo);
+        let overlap_hi = hi.min(bhi);
+        if overlap_lo <= overlap_hi {
+            let band_width = (bhi - blo + 1) as f64;
+            fraction += share * (overlap_hi - overlap_lo + 1) as f64 / band_width;
+        }
+    }
+    fraction
+}
+
+/// The Ads Manager potential-reach API over a world.
+#[derive(Debug, Clone, Copy)]
+pub struct AdsManagerApi<'w> {
+    world: &'w World,
+    era: ReportingEra,
+}
+
+impl<'w> AdsManagerApi<'w> {
+    /// Creates the endpoint for a world and reporting era.
+    pub fn new(world: &'w World, era: ReportingEra) -> Self {
+        Self { world, era }
+    }
+
+    /// The active reporting era.
+    pub fn era(&self) -> ReportingEra {
+        self.era
+    }
+
+    /// The world behind the endpoint.
+    pub fn world(&self) -> &'w World {
+        self.world
+    }
+
+    /// The *true* expected audience of a spec — the simulator's backdoor,
+    /// used by delivery and by policy evaluation (which FB could do
+    /// internally but an external advertiser cannot).
+    pub fn true_reach(&self, spec: &TargetingSpec) -> f64 {
+        let filter = CountryFilter::of(&spec.location_indices());
+        let engine = self.world.reach_engine();
+        let raw = engine.conjunction_reach_in(spec.interests(), filter);
+        raw * gender_fraction(spec.gender()) * age_fraction(spec.age_range())
+    }
+
+    /// The reported *Potential Reach* for a spec, floor applied.
+    pub fn potential_reach(&self, spec: &TargetingSpec) -> PotentialReach {
+        let true_reach = self.true_reach(spec);
+        let floor = self.era.floor();
+        let rounded = true_reach.round().max(0.0) as u64;
+        let floored = rounded < floor;
+        PotentialReach {
+            reported: rounded.max(floor),
+            floored,
+            // The advisory appears when the true audience sits under ~2× the
+            // floor — narrow enough that FB nudges the advertiser to widen.
+            too_narrow_warning: rounded < floor * 2,
+        }
+    }
+
+    /// Reach of every prefix of an interest sequence under a spec's
+    /// locations — the bulk query the uniqueness pipeline uses (reported
+    /// values, floor applied).
+    pub fn nested_potential_reach(
+        &self,
+        spec_locations: &TargetingSpec,
+        interests: &[fbsim_population::InterestId],
+    ) -> Vec<PotentialReach> {
+        let filter = CountryFilter::of(&spec_locations.location_indices());
+        let engine = self.world.reach_engine();
+        let demographic = gender_fraction(spec_locations.gender())
+            * age_fraction(spec_locations.age_range());
+        engine
+            .nested_reaches_in(interests, filter)
+            .into_iter()
+            .map(|raw| {
+                let true_reach = raw * demographic;
+                let floor = self.era.floor();
+                let rounded = true_reach.round().max(0.0) as u64;
+                PotentialReach {
+                    reported: rounded.max(floor),
+                    floored: rounded < floor,
+                    too_narrow_warning: rounded < floor * 2,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbsim_population::{InterestId, WorldConfig};
+    use std::sync::OnceLock;
+
+    fn world() -> &'static World {
+        static WORLD: OnceLock<World> = OnceLock::new();
+        WORLD.get_or_init(|| World::generate(WorldConfig::test_scale(91)).unwrap())
+    }
+
+    fn worldwide_with(interests: Vec<InterestId>) -> TargetingSpec {
+        TargetingSpec::builder().worldwide().interests(interests).build().unwrap()
+    }
+
+    #[test]
+    fn era_floors() {
+        assert_eq!(ReportingEra::Early2017.floor(), 20);
+        assert_eq!(ReportingEra::Workaround100.floor(), 100);
+        assert_eq!(ReportingEra::Post2018.floor(), 1_000);
+    }
+
+    #[test]
+    fn single_interest_reach_is_reported_unfloored() {
+        let api = AdsManagerApi::new(world(), ReportingEra::Early2017);
+        let spec = worldwide_with(vec![InterestId(0)]);
+        let reach = api.potential_reach(&spec);
+        assert!(!reach.floored);
+        assert!(reach.reported > 1_000, "single interests are popular: {reach:?}");
+    }
+
+    #[test]
+    fn deep_conjunction_hits_floor() {
+        let api = AdsManagerApi::new(world(), ReportingEra::Early2017);
+        // 25 arbitrary interests across topics: true reach ≈ 0.
+        let spec = worldwide_with((0..25).map(|i| InterestId(i * 37)).collect());
+        let reach = api.potential_reach(&spec);
+        assert!(reach.floored);
+        assert_eq!(reach.reported, 20);
+        assert!(reach.too_narrow_warning);
+    }
+
+    #[test]
+    fn floors_differ_across_eras() {
+        let spec = worldwide_with((0..25).map(|i| InterestId(i * 41)).collect());
+        for (era, floor) in [
+            (ReportingEra::Early2017, 20),
+            (ReportingEra::Workaround100, 100),
+            (ReportingEra::Post2018, 1_000),
+        ] {
+            let api = AdsManagerApi::new(world(), era);
+            assert_eq!(api.potential_reach(&spec).reported, floor);
+        }
+    }
+
+    #[test]
+    fn gender_refinement_scales_reach() {
+        let api = AdsManagerApi::new(world(), ReportingEra::Early2017);
+        let all = api.true_reach(&worldwide_with(vec![InterestId(3)]));
+        let male = api.true_reach(
+            &TargetingSpec::builder()
+                .worldwide()
+                .interest(InterestId(3))
+                .gender(Gender::Male)
+                .build()
+                .unwrap(),
+        );
+        assert!((male / all - 0.56).abs() < 1e-9);
+    }
+
+    #[test]
+    fn age_fraction_bands() {
+        assert_eq!(age_fraction(None), 1.0);
+        assert!((age_fraction(Some((13, 65))) - 1.0).abs() < 1e-9);
+        assert!((age_fraction(Some((20, 39))) - 0.54).abs() < 1e-9);
+        // Half of the 20-39 band.
+        assert!((age_fraction(Some((20, 29))) - 0.27).abs() < 1e-9);
+    }
+
+    #[test]
+    fn location_restriction_reduces_reach() {
+        let api = AdsManagerApi::new(world(), ReportingEra::Early2017);
+        let worldwide = api.true_reach(&worldwide_with(vec![InterestId(5)]));
+        let spain_only = api.true_reach(
+            &TargetingSpec::builder()
+                .location(fbsim_population::CountryCode::new("ES"))
+                .interest(InterestId(5))
+                .build()
+                .unwrap(),
+        );
+        assert!(spain_only < worldwide);
+        assert!(spain_only > 0.0);
+    }
+
+    #[test]
+    fn nested_reach_monotone_and_floored() {
+        let api = AdsManagerApi::new(world(), ReportingEra::Early2017);
+        let spec = TargetingSpec::builder().worldwide().build().unwrap();
+        let interests: Vec<InterestId> = (0..15).map(|i| InterestId(i * 53)).collect();
+        let nested = api.nested_potential_reach(&spec, &interests);
+        assert_eq!(nested.len(), 15);
+        for w in nested.windows(2) {
+            assert!(w[1].reported <= w[0].reported);
+        }
+        assert!(nested.last().unwrap().floored);
+        assert_eq!(nested.last().unwrap().reported, 20);
+    }
+}

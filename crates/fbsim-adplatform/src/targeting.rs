@@ -1,0 +1,342 @@
+//! Audience definitions and FB's validation rules.
+//!
+//! Section 2.1 of the paper: the only compulsory parameter is the location
+//! (up to 50 of them in 2017); interests are capped at 25 per audience (the
+//! cap that makes `N(R)_0.95 ≈ 27` unreachable in practice); gender and age
+//! are optional refinements.
+
+use fbsim_population::countries::{country_index, CountryCode};
+use fbsim_population::InterestId;
+use serde::{Deserialize, Serialize};
+
+/// Maximum locations per audience (FB Ads Manager, January 2017).
+pub const MAX_LOCATIONS: usize = 50;
+/// Maximum interests per audience (still in force today).
+pub const MAX_INTERESTS: usize = 25;
+
+/// Gender refinement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Gender {
+    /// Target men only.
+    Male,
+    /// Target women only.
+    Female,
+}
+
+/// Validation errors for an audience definition, mirroring the FB Ads
+/// Manager's rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TargetingError {
+    /// No location supplied — location is the one compulsory parameter.
+    MissingLocation,
+    /// More than [`MAX_LOCATIONS`] locations.
+    TooManyLocations(usize),
+    /// A location outside the 50-country targeting universe.
+    UnknownLocation(CountryCode),
+    /// The same location listed twice.
+    DuplicateLocation(CountryCode),
+    /// More than [`MAX_INTERESTS`] interests.
+    TooManyInterests(usize),
+    /// The same interest listed twice.
+    DuplicateInterest(InterestId),
+    /// Age range where the minimum exceeds the maximum or falls outside
+    /// FB's 13–65 bounds.
+    InvalidAgeRange(u8, u8),
+}
+
+impl std::fmt::Display for TargetingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TargetingError::MissingLocation => {
+                write!(f, "an audience must include at least one location")
+            }
+            TargetingError::TooManyLocations(n) => {
+                write!(f, "{n} locations exceeds the maximum of {MAX_LOCATIONS}")
+            }
+            TargetingError::UnknownLocation(c) => {
+                write!(f, "location {c} is not in the targeting universe")
+            }
+            TargetingError::DuplicateLocation(c) => write!(f, "location {c} listed twice"),
+            TargetingError::TooManyInterests(n) => {
+                write!(f, "{n} interests exceeds the maximum of {MAX_INTERESTS}")
+            }
+            TargetingError::DuplicateInterest(i) => {
+                write!(f, "interest {} listed twice", i.0)
+            }
+            TargetingError::InvalidAgeRange(lo, hi) => {
+                write!(f, "invalid age range {lo}-{hi} (must be 13-65, lo <= hi)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TargetingError {}
+
+/// A validated audience definition.
+///
+/// Build with [`TargetingSpec::builder`]; a constructed spec is guaranteed
+/// to satisfy every FB Ads Manager rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetingSpec {
+    locations: Vec<CountryCode>,
+    interests: Vec<InterestId>,
+    gender: Option<Gender>,
+    age_range: Option<(u8, u8)>,
+}
+
+impl TargetingSpec {
+    /// Starts building an audience.
+    pub fn builder() -> TargetingBuilder {
+        TargetingBuilder::default()
+    }
+
+    /// The audience's locations (1..=50, validated).
+    pub fn locations(&self) -> &[CountryCode] {
+        &self.locations
+    }
+
+    /// Location indices into the targeting universe.
+    pub fn location_indices(&self) -> Vec<u16> {
+        self.locations
+            .iter()
+            .map(|&c| country_index(c).expect("validated at build time") as u16)
+            .collect()
+    }
+
+    /// The audience's interests (conjunction, 0..=25, validated distinct).
+    pub fn interests(&self) -> &[InterestId] {
+        &self.interests
+    }
+
+    /// Gender refinement, if any.
+    pub fn gender(&self) -> Option<Gender> {
+        self.gender
+    }
+
+    /// Age-range refinement, if any.
+    pub fn age_range(&self) -> Option<(u8, u8)> {
+        self.age_range
+    }
+
+    /// Whether the spec targets the whole 50-country universe (the paper's
+    /// 2020 "worldwide" setting).
+    pub fn is_worldwide(&self) -> bool {
+        self.locations.len() == MAX_LOCATIONS
+    }
+}
+
+/// Builder for [`TargetingSpec`].
+#[derive(Debug, Clone, Default)]
+pub struct TargetingBuilder {
+    locations: Vec<CountryCode>,
+    interests: Vec<InterestId>,
+    gender: Option<Gender>,
+    age_range: Option<(u8, u8)>,
+}
+
+impl TargetingBuilder {
+    /// Adds one location.
+    pub fn location(mut self, code: CountryCode) -> Self {
+        self.locations.push(code);
+        self
+    }
+
+    /// Targets the whole 50-country universe — the closest 2017-era
+    /// equivalent of the "worldwide" option the paper used in 2020.
+    pub fn worldwide(mut self) -> Self {
+        self.locations = fbsim_population::TARGETING_UNIVERSE
+            .iter()
+            .map(|c| c.code)
+            .collect();
+        self
+    }
+
+    /// Adds one interest to the conjunction.
+    pub fn interest(mut self, id: InterestId) -> Self {
+        self.interests.push(id);
+        self
+    }
+
+    /// Adds several interests.
+    pub fn interests<I: IntoIterator<Item = InterestId>>(mut self, ids: I) -> Self {
+        self.interests.extend(ids);
+        self
+    }
+
+    /// Restricts to one gender.
+    pub fn gender(mut self, gender: Gender) -> Self {
+        self.gender = Some(gender);
+        self
+    }
+
+    /// Restricts to an age range (inclusive).
+    pub fn age_range(mut self, lo: u8, hi: u8) -> Self {
+        self.age_range = Some((lo, hi));
+        self
+    }
+
+    /// Validates and builds the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated rule as a [`TargetingError`].
+    pub fn build(self) -> Result<TargetingSpec, TargetingError> {
+        if self.locations.is_empty() {
+            return Err(TargetingError::MissingLocation);
+        }
+        if self.locations.len() > MAX_LOCATIONS {
+            return Err(TargetingError::TooManyLocations(self.locations.len()));
+        }
+        for (i, &loc) in self.locations.iter().enumerate() {
+            if country_index(loc).is_none() {
+                return Err(TargetingError::UnknownLocation(loc));
+            }
+            if self.locations[..i].contains(&loc) {
+                return Err(TargetingError::DuplicateLocation(loc));
+            }
+        }
+        if self.interests.len() > MAX_INTERESTS {
+            return Err(TargetingError::TooManyInterests(self.interests.len()));
+        }
+        for (i, &interest) in self.interests.iter().enumerate() {
+            if self.interests[..i].contains(&interest) {
+                return Err(TargetingError::DuplicateInterest(interest));
+            }
+        }
+        if let Some((lo, hi)) = self.age_range {
+            if lo < 13 || hi > 65 || lo > hi {
+                return Err(TargetingError::InvalidAgeRange(lo, hi));
+            }
+        }
+        Ok(TargetingSpec {
+            locations: self.locations,
+            interests: self.interests,
+            gender: self.gender,
+            age_range: self.age_range,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn es() -> CountryCode {
+        CountryCode::new("ES")
+    }
+
+    #[test]
+    fn minimal_spec_is_location_only() {
+        let spec = TargetingSpec::builder().location(es()).build().unwrap();
+        assert_eq!(spec.locations().len(), 1);
+        assert!(spec.interests().is_empty());
+        assert!(!spec.is_worldwide());
+    }
+
+    #[test]
+    fn missing_location_rejected() {
+        let err = TargetingSpec::builder()
+            .interest(InterestId(1))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TargetingError::MissingLocation);
+    }
+
+    #[test]
+    fn worldwide_is_fifty_countries() {
+        let spec = TargetingSpec::builder().worldwide().build().unwrap();
+        assert_eq!(spec.locations().len(), 50);
+        assert!(spec.is_worldwide());
+        assert_eq!(spec.location_indices().len(), 50);
+    }
+
+    #[test]
+    fn twenty_six_interests_rejected() {
+        let spec = TargetingSpec::builder()
+            .worldwide()
+            .interests((0..26).map(InterestId))
+            .build();
+        assert_eq!(spec.unwrap_err(), TargetingError::TooManyInterests(26));
+    }
+
+    #[test]
+    fn twenty_five_interests_allowed() {
+        let spec = TargetingSpec::builder()
+            .worldwide()
+            .interests((0..25).map(InterestId))
+            .build()
+            .unwrap();
+        assert_eq!(spec.interests().len(), 25);
+    }
+
+    #[test]
+    fn duplicate_interest_rejected() {
+        let err = TargetingSpec::builder()
+            .location(es())
+            .interest(InterestId(7))
+            .interest(InterestId(7))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TargetingError::DuplicateInterest(InterestId(7)));
+    }
+
+    #[test]
+    fn duplicate_location_rejected() {
+        let err = TargetingSpec::builder()
+            .location(es())
+            .location(es())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TargetingError::DuplicateLocation(es()));
+    }
+
+    #[test]
+    fn unknown_location_rejected() {
+        let err = TargetingSpec::builder()
+            .location(CountryCode::new("ZZ"))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TargetingError::UnknownLocation(CountryCode::new("ZZ")));
+    }
+
+    #[test]
+    fn age_range_validation() {
+        assert!(TargetingSpec::builder().location(es()).age_range(20, 39).build().is_ok());
+        assert_eq!(
+            TargetingSpec::builder().location(es()).age_range(12, 30).build().unwrap_err(),
+            TargetingError::InvalidAgeRange(12, 30)
+        );
+        assert_eq!(
+            TargetingSpec::builder().location(es()).age_range(40, 20).build().unwrap_err(),
+            TargetingError::InvalidAgeRange(40, 20)
+        );
+        assert_eq!(
+            TargetingSpec::builder().location(es()).age_range(20, 90).build().unwrap_err(),
+            TargetingError::InvalidAgeRange(20, 90)
+        );
+    }
+
+    #[test]
+    fn gender_refinement_carried() {
+        let spec = TargetingSpec::builder()
+            .location(es())
+            .gender(Gender::Female)
+            .build()
+            .unwrap();
+        assert_eq!(spec.gender(), Some(Gender::Female));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = TargetingSpec::builder()
+            .worldwide()
+            .interests((0..5).map(InterestId))
+            .gender(Gender::Male)
+            .age_range(20, 39)
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: TargetingSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

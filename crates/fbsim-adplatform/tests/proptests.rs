@@ -1,0 +1,80 @@
+//! Property-based tests of the ad-platform invariants.
+
+use fbsim_adplatform::campaign::Schedule;
+use fbsim_adplatform::delivery::{simulate_delivery, DeliveryModel, MatchedAudience};
+use fbsim_adplatform::targeting::TargetingSpec;
+use fbsim_population::InterestId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delivery_report_invariants(others in 0u64..100_000, target in any::<bool>(), seed in 0u64..500) {
+        // Expansion pinned off: the invariants below bound reach by the
+        // *matched* audience, which spillover deliberately violates.
+        let model = DeliveryModel { narrow_expansion_rate: 0.0, ..DeliveryModel::default() };
+        let report = simulate_delivery(
+            &model,
+            MatchedAudience { target_matches: target, others },
+            &Schedule::paper_experiment(),
+            10.0,
+            seed,
+        );
+        // Reached never exceeds the matched audience or the impressions.
+        prop_assert!(report.reached <= others + u64::from(target));
+        prop_assert!(report.reached <= report.impressions);
+        // The target cannot be seen without matching.
+        if !target {
+            prop_assert!(!report.target_seen);
+            prop_assert_eq!(report.target_impressions, 0);
+        }
+        // Seen ⇔ at least one target impression ⇔ a TFI exists.
+        prop_assert_eq!(report.target_seen, report.target_impressions > 0);
+        prop_assert_eq!(report.target_seen, report.time_to_first_impression_hours.is_some());
+        if let Some(tfi) = report.time_to_first_impression_hours {
+            prop_assert!((0.0..=33.0).contains(&tfi));
+        }
+        // Clicks bounded by impressions; IPs bounded by clicks.
+        prop_assert!(report.clicks <= report.impressions);
+        prop_assert!(report.unique_click_ips <= report.clicks.max(1));
+        // Cost is non-negative, cent-rounded, and bounded by the paced
+        // budget plus one impression of slack.
+        prop_assert!(report.cost_eur >= 0.0);
+        prop_assert!((report.cost_eur * 100.0 - (report.cost_eur * 100.0).round()).abs() < 1e-6);
+        prop_assert!(report.cost_eur <= 10.0 * 4.0 + 0.5, "cost {}", report.cost_eur);
+        // Nanotargeting success requires exactly one reached user.
+        if report.nanotargeting_success() {
+            prop_assert_eq!(report.reached, 1);
+            prop_assert!(report.target_seen);
+        }
+    }
+
+    #[test]
+    fn schedules_account_hours(windows in prop::collection::vec((0.0f64..100.0, 0.1f64..24.0), 1..5)) {
+        // Build non-overlapping windows by accumulating offsets.
+        let mut t = 0.0;
+        let mut built = Vec::new();
+        for (gap, len) in windows {
+            let start = t + gap;
+            built.push((start, start + len));
+            t = start + len;
+        }
+        let schedule = Schedule::new(built.clone()).unwrap();
+        let total: f64 = built.iter().map(|(s, e)| e - s).sum();
+        prop_assert!((schedule.active_hours() - total).abs() < 1e-9);
+        // active_to_wall round-trips inside the active span.
+        let mid = total / 2.0;
+        let wall = schedule.active_to_wall(mid).unwrap();
+        prop_assert!(wall >= built[0].0 && wall <= built.last().unwrap().1);
+    }
+
+    #[test]
+    fn targeting_interest_cap_is_sharp(n in 0usize..40) {
+        let result = TargetingSpec::builder()
+            .worldwide()
+            .interests((0..n as u32).map(InterestId))
+            .build();
+        prop_assert_eq!(result.is_ok(), n <= 25);
+    }
+}

@@ -1,0 +1,30 @@
+//! # fbsim-fdvt
+//!
+//! Simulator of the FDVT browser extension — the data-collection instrument
+//! behind the paper's 2,390-user cohort (Section 2.2/3) and the §6 privacy
+//! defence.
+//!
+//! * [`registration`] — the opt-in flow: compulsory country, optional
+//!   gender/age/relationship status, GDPR consent record.
+//! * [`collect`] — harvesting a user's ad-preference list from the
+//!   population model and the extension's original headline feature, the
+//!   per-session ad-revenue estimate.
+//! * [`dataset`] — assembly of the research cohort with the paper's §3
+//!   marginals: 1,949 men / 347 women / 94 undisclosed; 117 adolescents /
+//!   1,374 early adults / 578 adults / 19 matures / 302 undisclosed; the
+//!   80-country split of Table 4; interests-per-user from Fig. 1.
+//! * [`risk`] — the §6 defence: audience-size risk bands (High ≤ 10k <
+//!   Medium ≤ 100k < Low ≤ 1M < None), the sorted risk report with
+//!   one-click removal, and the Fig.-7 interface model.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collect;
+pub mod dataset;
+pub mod registration;
+pub mod risk;
+
+pub use dataset::{AgeBand, FdvtDataset, FdvtUser, GenderDecl};
+pub use registration::{ConsentRecord, Registration, RegistrationError};
+pub use risk::{RiskLevel, RiskReport};

@@ -1,0 +1,330 @@
+//! The latent Monte-Carlo panel.
+//!
+//! Reach queries are expectations over the user population. Rather than
+//! materialising 1.5B interest lists, the engine keeps a *panel* of latent
+//! users — taste, interest-count, country — sampled from the generative
+//! model, and evaluates carriage probabilities `p_vi` on the fly:
+//!
+//! ```text
+//! p_vi     = 1 − exp(−s_i · f_v(topic_i) · α_v)
+//! f_v(t)   = base + w_v(t) · S_total / S_t        (budget-share affinity)
+//! α_v      = n_v / W_v,   W_v = (1 + base) · S_total
+//! AS(S)    ≈ (population / panel) · Σ_v Π_{i∈S} p_vi
+//! ```
+//!
+//! The effective taste weights (`w · S_total / S_t`) depend on the catalog's
+//! calibrated scores, so they and the `α` column are (re)computed by
+//! [`Panel::recompute_alphas`] whenever scores change. Panel rows use
+//! fixed-size taste storage to stay cache-friendly — conjunction sweeps
+//! touch every row once per added interest.
+
+use fbsim_stats::dist::Log10Normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::catalog::{InterestCatalog, TopicId};
+use crate::config::WorldConfig;
+use crate::countries::CountryAssigner;
+use crate::taste::{Taste, TasteSampler, MAX_TASTE_TOPICS};
+
+/// One latent panel user.
+#[derive(Debug, Clone)]
+pub struct PanelUser {
+    /// `n_v / W_v` — precomputed for the current catalog scores.
+    pub alpha: f32,
+    /// Interest-count budget `n_v`.
+    pub n_interests: f32,
+    /// Index into [`crate::countries::TARGETING_UNIVERSE`].
+    pub country: u16,
+    /// Number of taste topics used in the fixed arrays.
+    pub taste_len: u8,
+    /// Taste topic ids (first `taste_len` entries valid).
+    pub taste_topics: [u16; MAX_TASTE_TOPICS],
+    /// Raw taste weights (first `taste_len` entries valid; sum to 1).
+    pub taste_weights: [f32; MAX_TASTE_TOPICS],
+    /// Effective taste weights `w · S_total / S_t` for the current catalog
+    /// scores (first `taste_len` entries valid).
+    pub taste_eff: [f32; MAX_TASTE_TOPICS],
+}
+
+impl PanelUser {
+    /// Affinity `f_v(t) = base + w_v(t) · S_total / S_t` using the
+    /// precomputed effective weights.
+    #[inline]
+    pub fn affinity(&self, topic: TopicId, base: f32) -> f32 {
+        let mut w = base;
+        for k in 0..self.taste_len as usize {
+            if self.taste_topics[k] == topic.0 {
+                w += self.taste_eff[k];
+                break;
+            }
+        }
+        w
+    }
+
+    /// Probability this user carries an interest with score `score` in
+    /// `topic`.
+    #[inline]
+    pub fn carriage_probability(&self, score: f64, topic: TopicId, base: f32) -> f64 {
+        let w = self.affinity(topic, base) as f64;
+        1.0 - (-(score * w * self.alpha as f64)).exp()
+    }
+
+    /// The taste as a [`Taste`] value (for materialisation paths).
+    pub fn taste(&self) -> Taste {
+        Taste::new(
+            (0..self.taste_len as usize)
+                .map(|k| (TopicId(self.taste_topics[k]), self.taste_weights[k]))
+                .collect(),
+        )
+    }
+}
+
+/// The Monte-Carlo panel.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    users: Vec<PanelUser>,
+    /// population / panel size.
+    scale: f64,
+    base_affinity: f32,
+    /// Global multiplier on every user's assignment budget. The latent
+    /// budget `n` counts assignment *attempts* (with replacement, deduped by
+    /// the `1 − exp` saturation), so the realised number of distinct
+    /// interests `Σ_i p_vi` falls short of `n`. Calibration raises this
+    /// factor until the total realised audience mass matches the Fig.-2
+    /// targets.
+    budget_factor: f64,
+}
+
+impl Panel {
+    /// Samples a panel of `config.panel_size` latent users and computes
+    /// their `α` for the given catalog.
+    pub fn generate(config: &WorldConfig, catalog: &InterestCatalog) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9A9E_1CAFE);
+        let taste_sampler = TasteSampler::new(config);
+        let country_assigner = CountryAssigner::new();
+        // Panel users follow the *world* interest-count distribution (the
+        // cohort's heavier Fig.-1 distribution applies only to FDVT users).
+        let count_dist = Log10Normal::from_median(
+            config.world_interests_median(),
+            config.interests_per_user_sigma,
+        );
+        let users: Vec<PanelUser> = (0..config.panel_size)
+            .map(|_| {
+                let taste = taste_sampler.sample(&mut rng);
+                let n = count_dist.sample_clamped(
+                    &mut rng,
+                    config.interests_per_user_min,
+                    config.interests_per_user_max,
+                );
+                let mut taste_topics = [0u16; MAX_TASTE_TOPICS];
+                let mut taste_weights = [0f32; MAX_TASTE_TOPICS];
+                for (k, &(t, w)) in taste.entries().iter().enumerate() {
+                    taste_topics[k] = t.0;
+                    taste_weights[k] = w;
+                }
+                PanelUser {
+                    alpha: 0.0,
+                    n_interests: n as f32,
+                    country: country_assigner.sample_index(&mut rng),
+                    taste_len: taste.len() as u8,
+                    taste_topics,
+                    taste_weights,
+                    taste_eff: [0.0; MAX_TASTE_TOPICS],
+                }
+            })
+            .collect();
+        let mut panel = Self {
+            users,
+            scale: config.population as f64 / config.panel_size as f64,
+            base_affinity: config.base_affinity as f32,
+            budget_factor: 1.0,
+        };
+        panel.recompute_alphas(catalog);
+        panel
+    }
+
+    /// Multiplies the global budget factor by `ratio` and refreshes `α`.
+    /// Used by calibration to close the saturation mass deficit.
+    pub fn scale_budget_factor(&mut self, ratio: f64, catalog: &InterestCatalog) {
+        assert!(ratio.is_finite() && ratio > 0.0, "budget ratio must be positive");
+        self.budget_factor *= ratio;
+        self.recompute_alphas(catalog);
+    }
+
+    /// The current global budget factor.
+    pub fn budget_factor(&self) -> f64 {
+        self.budget_factor
+    }
+
+    /// Recomputes each user's effective taste weights and `α = n / W`
+    /// against the current catalog scores. Must be called after every
+    /// [`InterestCatalog::set_scores`].
+    pub fn recompute_alphas(&mut self, catalog: &InterestCatalog) {
+        let base = self.base_affinity as f64;
+        let total = catalog.total_score();
+        debug_assert!(total > 0.0, "catalog score mass must be positive");
+        // W_v = base·S_total + Σ_t (w_t·S_total/S_t)·S_t = (base + 1)·S_total
+        // — identical for every user in the budget-share model.
+        let w_v = (base + 1.0) * total;
+        for user in &mut self.users {
+            for k in 0..user.taste_len as usize {
+                let s_t = catalog.topic_score_total(TopicId(user.taste_topics[k]));
+                // A topic with zero mass (no interests) contributes nothing;
+                // its budget share is effectively re-spread as background.
+                user.taste_eff[k] = if s_t > 0.0 {
+                    (user.taste_weights[k] as f64 * total / s_t) as f32
+                } else {
+                    0.0
+                };
+            }
+            user.alpha = (self.budget_factor * user.n_interests as f64 / w_v) as f32;
+        }
+    }
+
+    /// Panel rows.
+    pub fn users(&self) -> &[PanelUser] {
+        &self.users
+    }
+
+    /// Number of panel users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the panel is empty (never true for a generated panel).
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// population / panel-size scale factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Baseline affinity shared by all panel users.
+    pub fn base_affinity(&self) -> f32 {
+        self.base_affinity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_world() -> (WorldConfig, InterestCatalog, Panel) {
+        let cfg = WorldConfig::test_scale(11);
+        let catalog = InterestCatalog::generate(&cfg);
+        let panel = Panel::generate(&cfg, &catalog);
+        (cfg, catalog, panel)
+    }
+
+    #[test]
+    fn panel_has_requested_size_and_scale() {
+        let (cfg, _, panel) = small_world();
+        assert_eq!(panel.len(), cfg.panel_size as usize);
+        let expected = cfg.population as f64 / cfg.panel_size as f64;
+        assert!((panel.scale() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alphas_positive_after_generation() {
+        let (_, _, panel) = small_world();
+        assert!(panel.users().iter().all(|u| u.alpha > 0.0));
+    }
+
+    #[test]
+    fn interest_counts_within_clamp() {
+        let (cfg, _, panel) = small_world();
+        for u in panel.users() {
+            assert!(u.n_interests >= cfg.interests_per_user_min as f32);
+            assert!(u.n_interests <= cfg.interests_per_user_max as f32);
+        }
+    }
+
+    #[test]
+    fn expected_interest_count_is_close_to_alpha_times_w() {
+        // Σ_i p_vi ≈ Σ_i s_i f_v(t_i) α_v = α_v · W_v = n_v in the linear
+        // regime — the Poissonisation consistency check.
+        let (_, catalog, panel) = small_world();
+        let base = panel.base_affinity();
+        let user = &panel.users()[0];
+        let total: f64 = catalog
+            .interests()
+            .iter()
+            .map(|i| user.carriage_probability(i.score, i.topic, base))
+            .sum();
+        let n = user.n_interests as f64;
+        // Saturation makes the sum smaller than n, but it should be the
+        // same order of magnitude.
+        assert!(total > 0.3 * n && total <= n * 1.05, "sum {total}, n {n}");
+    }
+
+    #[test]
+    fn carriage_probability_bounds() {
+        let (_, catalog, panel) = small_world();
+        let base = panel.base_affinity();
+        for u in panel.users().iter().take(50) {
+            for i in catalog.interests().iter().take(50) {
+                let p = u.carriage_probability(i.score, i.topic, base);
+                assert!((0.0..=1.0).contains(&p), "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn taste_topics_raise_carriage_probability() {
+        let (_, catalog, panel) = small_world();
+        let base = panel.base_affinity();
+        let user = panel
+            .users()
+            .iter()
+            .find(|u| u.taste_len > 0)
+            .expect("all users have taste");
+        let taste_topic = TopicId(user.taste_topics[0]);
+        let other_topic = TopicId(
+            (0..catalog.n_topics() as u16)
+                .find(|&t| (0..user.taste_len as usize).all(|k| user.taste_topics[k] != t))
+                .expect("more topics than taste slots"),
+        );
+        let score = 1_000.0;
+        let p_taste = user.carriage_probability(score, taste_topic, base);
+        let p_other = user.carriage_probability(score, other_topic, base);
+        assert!(p_taste > p_other, "{p_taste} vs {p_other}");
+    }
+
+    #[test]
+    fn recompute_alphas_tracks_score_changes() {
+        let (_, mut catalog, mut panel) = small_world();
+        let before: Vec<f32> = panel.users().iter().map(|u| u.alpha).collect();
+        // Double every score: W doubles, α halves.
+        let scores: Vec<f64> = catalog.interests().iter().map(|i| i.score * 2.0).collect();
+        catalog.set_scores(&scores);
+        panel.recompute_alphas(&catalog);
+        for (u, &b) in panel.users().iter().zip(&before) {
+            assert!((u.alpha - b / 2.0).abs() / b < 1e-4);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = WorldConfig::test_scale(21);
+        let catalog = InterestCatalog::generate(&cfg);
+        let a = Panel::generate(&cfg, &catalog);
+        let b = Panel::generate(&cfg, &catalog);
+        for (x, y) in a.users().iter().zip(b.users()) {
+            assert_eq!(x.alpha, y.alpha);
+            assert_eq!(x.country, y.country);
+            assert_eq!(x.taste_topics, y.taste_topics);
+        }
+    }
+
+    #[test]
+    fn countries_diverse() {
+        let (_, _, panel) = small_world();
+        let mut seen: Vec<u16> = panel.users().iter().map(|u| u.country).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(seen.len() > 20, "expected many countries, got {}", seen.len());
+    }
+}

@@ -1,0 +1,351 @@
+//! The conjunction-reach engine — the simulated *Potential Reach* oracle.
+//!
+//! `AS(S) = scale · Σ_v Π_{i∈S} p_vi`: the expected number of users carrying
+//! every interest in `S`, estimated over the latent panel. This is the
+//! number the paper reads from the FB Ads Manager API for each combination
+//! of interests (before FB's reporting floor is applied — the floor lives in
+//! `fbsim-adplatform`, which wraps this engine).
+//!
+//! Two access patterns matter:
+//!
+//! * **single queries** ([`ReachEngine::conjunction_reach`]) for ad-platform
+//!   audience sizing;
+//! * **nested sweeps** ([`ReachEngine::nested_reaches`]) for the uniqueness
+//!   model, which needs the reach of every prefix of a 25-interest sequence.
+//!   The sweep keeps one running product per panel user and performs one
+//!   multiply per user per added interest — 25× cheaper than 25 independent
+//!   queries.
+//!
+//! The module also exposes the **global-independence baseline**
+//! ([`ReachEngine::conjunction_reach_independent`]) used by the ablation
+//! bench: `Pop · Π (AS_i / Pop)`, i.e. what the audience would be if
+//! interests were uncorrelated. Comparing the two shows why the latent-taste
+//! correlation structure is load-bearing for reproducing the paper.
+
+use rayon::prelude::*;
+
+use crate::catalog::{InterestCatalog, InterestId};
+use crate::panel::Panel;
+
+/// Filter over the targeting universe: a bitmask of country indices
+/// (bit `i` = country `i` of `TARGETING_UNIVERSE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountryFilter(pub u64);
+
+impl CountryFilter {
+    /// All 50 countries (the paper's "worldwide" query set).
+    pub const ALL: CountryFilter = CountryFilter((1 << 50) - 1);
+
+    /// Filter containing exactly the given country indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is ≥ 50 (outside the targeting universe).
+    pub fn of(indices: &[u16]) -> Self {
+        let mut mask = 0u64;
+        for &i in indices {
+            assert!(i < 50, "country index {i} outside the 50-country universe");
+            mask |= 1 << i;
+        }
+        Self(mask)
+    }
+
+    /// Whether country index `i` passes the filter.
+    #[inline]
+    pub fn contains(&self, i: u16) -> bool {
+        i < 64 && (self.0 >> i) & 1 == 1
+    }
+
+    /// Number of countries in the filter.
+    pub fn len(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the filter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Monte-Carlo reach estimator over a catalog + panel.
+#[derive(Debug, Clone, Copy)]
+pub struct ReachEngine<'a> {
+    catalog: &'a InterestCatalog,
+    panel: &'a Panel,
+}
+
+/// Panel chunk size for rayon sweeps — big enough to amortise task overhead,
+/// small enough to parallelise test-scale panels.
+const CHUNK: usize = 4_096;
+
+impl<'a> ReachEngine<'a> {
+    /// Creates an engine borrowing the world's catalog and panel.
+    pub fn new(catalog: &'a InterestCatalog, panel: &'a Panel) -> Self {
+        Self { catalog, panel }
+    }
+
+    /// The catalog behind this engine.
+    pub fn catalog(&self) -> &'a InterestCatalog {
+        self.catalog
+    }
+
+    /// Expected audience of a single interest, worldwide.
+    pub fn single_reach(&self, id: InterestId) -> f64 {
+        self.conjunction_reach(std::slice::from_ref(&id))
+    }
+
+    /// Expected audience of the conjunction of `ids`, worldwide.
+    ///
+    /// An empty conjunction matches everyone (returns the population).
+    pub fn conjunction_reach(&self, ids: &[InterestId]) -> f64 {
+        self.conjunction_reach_in(ids, CountryFilter::ALL)
+    }
+
+    /// Expected audience of the conjunction of `ids` restricted to the
+    /// countries in `filter`.
+    pub fn conjunction_reach_in(&self, ids: &[InterestId], filter: CountryFilter) -> f64 {
+        let base = self.panel.base_affinity();
+        let params: Vec<(f64, crate::catalog::TopicId)> = ids
+            .iter()
+            .map(|&id| {
+                let i = self.catalog.interest(id);
+                (i.score, i.topic)
+            })
+            .collect();
+        let sum: f64 = self
+            .panel
+            .users()
+            .par_chunks(CHUNK)
+            .map(|chunk| {
+                let mut acc = 0.0f64;
+                for user in chunk {
+                    if !filter.contains(user.country) {
+                        continue;
+                    }
+                    let mut product = 1.0f64;
+                    for &(score, topic) in &params {
+                        product *= user.carriage_probability(score, topic, base);
+                        if product < 1e-300 {
+                            break;
+                        }
+                    }
+                    acc += product;
+                }
+                acc
+            })
+            .sum();
+        sum * self.panel.scale()
+    }
+
+    /// Reach of every prefix of `ids`: element `k` is the audience of the
+    /// conjunction of the first `k+1` interests. This is the workhorse of
+    /// the uniqueness analysis (Section 4.1 queries combinations of
+    /// 1..=25 interests per user).
+    pub fn nested_reaches(&self, ids: &[InterestId]) -> Vec<f64> {
+        self.nested_reaches_in(ids, CountryFilter::ALL)
+    }
+
+    /// [`Self::nested_reaches`] with a country filter.
+    pub fn nested_reaches_in(&self, ids: &[InterestId], filter: CountryFilter) -> Vec<f64> {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let base = self.panel.base_affinity();
+        let params: Vec<(f64, crate::catalog::TopicId)> = ids
+            .iter()
+            .map(|&id| {
+                let i = self.catalog.interest(id);
+                (i.score, i.topic)
+            })
+            .collect();
+        let sums: Vec<f64> = self
+            .panel
+            .users()
+            .par_chunks(CHUNK)
+            .map(|chunk| {
+                let mut acc = vec![0.0f64; params.len()];
+                let mut products = vec![0.0f64; chunk.len()];
+                // First interest initialises the running products.
+                for (slot, user) in products.iter_mut().zip(chunk) {
+                    *slot = if filter.contains(user.country) {
+                        user.carriage_probability(params[0].0, params[0].1, base)
+                    } else {
+                        0.0
+                    };
+                    acc[0] += *slot;
+                }
+                for (k, &(score, topic)) in params.iter().enumerate().skip(1) {
+                    let mut step = 0.0f64;
+                    for (slot, user) in products.iter_mut().zip(chunk) {
+                        if *slot > 1e-300 {
+                            *slot *= user.carriage_probability(score, topic, base);
+                            step += *slot;
+                        }
+                    }
+                    acc[k] = step;
+                }
+                acc
+            })
+            .reduce(
+                || vec![0.0f64; params.len()],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        sums.into_iter().map(|s| s * self.panel.scale()).collect()
+    }
+
+    /// The global-independence baseline: `Pop · Π (AS_i / Pop)` using the
+    /// calibrated single-interest audiences. Ablation only — this is the
+    /// model the paper's data refutes.
+    pub fn conjunction_reach_independent(&self, ids: &[InterestId]) -> f64 {
+        let pop = self.population();
+        let mut reach = pop;
+        for &id in ids {
+            reach *= (self.single_reach(id) / pop).min(1.0);
+        }
+        reach
+    }
+
+    /// Total simulated population (reach of the empty conjunction).
+    pub fn population(&self) -> f64 {
+        self.panel.scale() * self.panel.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::panel::Panel;
+
+    fn engine_fixture() -> (InterestCatalog, Panel) {
+        let cfg = WorldConfig::test_scale(31);
+        let catalog = InterestCatalog::generate(&cfg);
+        let panel = Panel::generate(&cfg, &catalog);
+        (catalog, panel)
+    }
+
+    #[test]
+    fn empty_conjunction_is_population() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        let pop = engine.conjunction_reach(&[]);
+        assert!((pop - 10_000_000.0).abs() / 1e7 < 1e-9);
+        assert_eq!(pop, engine.population());
+    }
+
+    #[test]
+    fn reach_monotone_in_conjunction_size() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        let ids: Vec<InterestId> = (0..10).map(InterestId).collect();
+        let nested = engine.nested_reaches(&ids);
+        for w in nested.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "adding an interest must not grow reach: {w:?}");
+        }
+    }
+
+    #[test]
+    fn nested_matches_individual_queries() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        let ids: Vec<InterestId> = vec![InterestId(5), InterestId(99), InterestId(500)];
+        let nested = engine.nested_reaches(&ids);
+        for k in 0..ids.len() {
+            let direct = engine.conjunction_reach(&ids[..=k]);
+            assert!(
+                (nested[k] - direct).abs() / direct.max(1e-12) < 1e-9,
+                "prefix {k}: nested {} vs direct {direct}",
+                nested[k]
+            );
+        }
+    }
+
+    #[test]
+    fn single_reach_positive_and_below_population() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        for id in (0..50).map(InterestId) {
+            let r = engine.single_reach(id);
+            assert!(r > 0.0);
+            assert!(r < engine.population());
+        }
+    }
+
+    #[test]
+    fn country_filter_partitions_population() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        let id = [InterestId(3)];
+        let all = engine.conjunction_reach_in(&id, CountryFilter::ALL);
+        let us = engine.conjunction_reach_in(&id, CountryFilter::of(&[0]));
+        let rest =
+            engine.conjunction_reach_in(&id, CountryFilter(CountryFilter::ALL.0 & !1));
+        assert!(us > 0.0);
+        assert!(us < all);
+        assert!((us + rest - all).abs() / all < 1e-9, "US + rest should equal worldwide");
+    }
+
+    #[test]
+    fn empty_filter_gives_zero() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        assert_eq!(
+            engine.conjunction_reach_in(&[InterestId(0)], CountryFilter(0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn independence_baseline_decays_faster() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        // Pick interests from one panel user's plausible taste: all from the
+        // same topic so the correlated model keeps a sizeable audience.
+        let topic = catalog.interest(InterestId(0)).topic;
+        let same_topic: Vec<InterestId> = catalog
+            .interests()
+            .iter()
+            .filter(|i| i.topic == topic)
+            .take(5)
+            .map(|i| i.id)
+            .collect();
+        assert!(same_topic.len() >= 4, "need a few interests in one topic");
+        let correlated = engine.conjunction_reach(&same_topic);
+        let independent = engine.conjunction_reach_independent(&same_topic);
+        assert!(
+            correlated > independent,
+            "correlated {correlated} should exceed independent {independent}"
+        );
+    }
+
+    #[test]
+    fn country_filter_helpers() {
+        let f = CountryFilter::of(&[0, 3, 49]);
+        assert!(f.contains(0));
+        assert!(f.contains(3));
+        assert!(f.contains(49));
+        assert!(!f.contains(1));
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+        assert!(CountryFilter(0).is_empty());
+        assert_eq!(CountryFilter::ALL.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the 50-country universe")]
+    fn country_filter_rejects_out_of_range() {
+        CountryFilter::of(&[50]);
+    }
+
+    #[test]
+    fn nested_reaches_empty_input() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        assert!(engine.nested_reaches(&[]).is_empty());
+    }
+}

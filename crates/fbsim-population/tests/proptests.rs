@@ -1,0 +1,143 @@
+//! Property-based tests of the population model's core invariants.
+
+use fbsim_population::reach::CountryFilter;
+use fbsim_population::{InterestId, World, WorldConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared small world: generation is too expensive per proptest case.
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let mut cfg = WorldConfig::test_scale(123);
+        cfg.n_interests = 500;
+        cfg.panel_size = 4_000;
+        World::generate(cfg).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reach_monotone_under_extension(ids in prop::collection::vec(0u32..500, 1..8), extra in 0u32..500) {
+        let mut ids: Vec<InterestId> = ids.into_iter().map(InterestId).collect();
+        ids.dedup();
+        let engine = world().reach_engine();
+        let base = engine.conjunction_reach(&ids);
+        ids.push(InterestId(extra));
+        let extended = engine.conjunction_reach(&ids);
+        prop_assert!(extended <= base + 1e-6, "extending a conjunction grew reach: {base} -> {extended}");
+    }
+
+    #[test]
+    fn reach_order_invariant(ids in prop::collection::vec(0u32..500, 2..8), seed in 0u64..100) {
+        let ids: Vec<InterestId> = ids.into_iter().map(InterestId).collect();
+        let engine = world().reach_engine();
+        let forward = engine.conjunction_reach(&ids);
+        let mut shuffled = ids.clone();
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let back = engine.conjunction_reach(&shuffled);
+        prop_assert!((forward - back).abs() <= 1e-6 * forward.abs().max(1.0));
+    }
+
+    #[test]
+    fn nested_matches_pointwise(ids in prop::collection::vec(0u32..500, 1..6)) {
+        let ids: Vec<InterestId> = ids.into_iter().map(InterestId).collect();
+        let engine = world().reach_engine();
+        let nested = engine.nested_reaches(&ids);
+        for k in 0..ids.len() {
+            let direct = engine.conjunction_reach(&ids[..=k]);
+            prop_assert!((nested[k] - direct).abs() <= 1e-6 * direct.max(1.0));
+        }
+    }
+
+    #[test]
+    fn country_filters_are_subadditive(id in 0u32..500, split in 1u16..49) {
+        let engine = world().reach_engine();
+        let ids = [InterestId(id)];
+        let left: Vec<u16> = (0..split).collect();
+        let right: Vec<u16> = (split..50).collect();
+        let l = engine.conjunction_reach_in(&ids, CountryFilter::of(&left));
+        let r = engine.conjunction_reach_in(&ids, CountryFilter::of(&right));
+        let all = engine.conjunction_reach_in(&ids, CountryFilter::ALL);
+        prop_assert!((l + r - all).abs() <= 1e-6 * all.max(1.0));
+    }
+
+    #[test]
+    fn independence_never_exceeds_single_reach(ids in prop::collection::vec(0u32..500, 1..6)) {
+        let mut ids: Vec<InterestId> = ids.into_iter().map(InterestId).collect();
+        ids.sort();
+        ids.dedup();
+        let engine = world().reach_engine();
+        let independent = engine.conjunction_reach_independent(&ids);
+        for &id in &ids {
+            prop_assert!(independent <= engine.single_reach(id) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn materialized_users_are_valid(count in 1usize..200, seed in 0u64..50) {
+        let user = {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            world().materializer().sample_user_with_count(&mut rng, count)
+        };
+        prop_assert_eq!(user.interests.len(), count.min(world().catalog().len()));
+        let mut dedup = user.interests.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), user.interests.len());
+        for id in &user.interests {
+            prop_assert!(world().catalog().get(*id).is_some());
+        }
+        prop_assert!(user.country < 50);
+    }
+
+    #[test]
+    fn lp_sorting_is_total(count in 2usize..100, seed in 0u64..50) {
+        let user = {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            world().materializer().sample_user_with_count(&mut rng, count)
+        };
+        let sorted = user.interests_by_audience(world().catalog());
+        prop_assert_eq!(sorted.len(), user.interests.len());
+        for w in sorted.windows(2) {
+            prop_assert!(
+                world().catalog().interest(w[0]).target_audience
+                    <= world().catalog().interest(w[1]).target_audience
+            );
+        }
+    }
+}
+
+/// Not a property test, but lives with the statistical validation: the
+/// calibrated single-interest audiences follow the Fig.-2 log-normal shape,
+/// not just its quartiles (KS distance against the target CDF).
+#[test]
+fn calibrated_audiences_follow_fig2_shape() {
+    use fbsim_population::calibration::measured_single_audiences;
+    use fbsim_stats::dist::Log10Normal;
+    use fbsim_stats::ks::ks_one_sample;
+
+    let w = world();
+    let audiences = measured_single_audiences(w.catalog(), w.panel());
+    let cfg = w.config();
+    let target = Log10Normal::from_quartiles(cfg.audience_q25, cfg.audience_q75);
+    let d = ks_one_sample(&audiences, |x| {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.log10() - target.mu) / target.sigma;
+        // Logistic approximation of Φ (max error ~0.02, well inside the
+        // acceptance band below).
+        1.0 / (1.0 + (-1.702 * z).exp())
+    })
+    .unwrap();
+    // Calibration + the 20-audience floor + saturation leave a residual
+    // shape error; it must stay small (the quartile match is ~6%).
+    assert!(d < 0.12, "KS distance {d} against the Fig.-2 target shape");
+}

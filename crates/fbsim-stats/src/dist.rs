@@ -1,0 +1,384 @@
+//! Seeded samplers for the distributions that drive the synthetic
+//! population.
+//!
+//! The dataset section of the paper pins down two heavy-tailed empirical
+//! distributions the simulator must match:
+//!
+//! * interests per user (Fig. 1): median 426, range 1–8,950 → log-normal
+//!   with clamping;
+//! * audience size per interest (Fig. 2): p25/p50/p75 =
+//!   113,193 / 418,530 / 1,719,925 → log-normal whose log10-σ is derived
+//!   from the interquartile range.
+//!
+//! The module also provides Zipf ranks (interest popularity ordering within
+//! topics), Poisson counts (session arrivals in the delivery simulator) and
+//! alias tables for fast categorical draws (country assignment over the
+//! Table 3/4 breakdowns).
+
+use rand::Rng;
+
+/// Log-normal distribution parameterised in **log10** space, the natural
+/// space for the paper's audience-size plots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Log10Normal {
+    /// Mean of log10(x) — i.e. log10 of the median.
+    pub mu: f64,
+    /// Standard deviation of log10(x).
+    pub sigma: f64,
+}
+
+impl Log10Normal {
+    /// From a median and the log10 standard deviation.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        Self { mu: median.log10(), sigma }
+    }
+
+    /// Fits a log-normal to the 25th and 75th percentiles: the interquartile
+    /// range in log10 space spans `2 × 0.674489…σ` (the standard normal
+    /// quartile).
+    pub fn from_quartiles(q25: f64, q75: f64) -> Self {
+        const Z75: f64 = 0.674_489_750_196_081_7;
+        let l25 = q25.log10();
+        let l75 = q75.log10();
+        Self { mu: (l25 + l75) / 2.0, sigma: (l75 - l25) / (2.0 * Z75) }
+    }
+
+    /// Median of the distribution.
+    pub fn median(&self) -> f64 {
+        10f64.powf(self.mu)
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        10f64.powf(self.mu + self.sigma * standard_normal(rng))
+    }
+
+    /// Draws one sample clamped to `[lo, hi]`.
+    pub fn sample_clamped<R: Rng + ?Sized>(&self, rng: &mut R, lo: f64, hi: f64) -> f64 {
+        self.sample(rng).clamp(lo, hi)
+    }
+
+    /// Quantile function at probability `p` (0 < p < 1).
+    pub fn quantile(&self, p: f64) -> f64 {
+        10f64.powf(self.mu + self.sigma * normal_quantile(p))
+    }
+}
+
+/// One standard-normal draw via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0,1]: avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Standard-normal quantile (inverse CDF), Acklam's rational approximation
+/// (absolute error < 1.15e-9, ample for CI endpoints and calibration).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Poisson draw. Uses inversion for small means and the normal approximation
+/// (rounded, clamped at 0) for large means — delivery simulation only needs
+/// count realism, not exact tail behaviour, above mean ≈ 30.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean >= 0.0 && mean.is_finite(), "Poisson mean must be finite and >= 0");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            // Numerical guard: p can only underflow after ~mean+many steps.
+            if k > 1_000 {
+                return k;
+            }
+        }
+    }
+    let x = mean + mean.sqrt() * standard_normal(rng);
+    x.round().max(0.0) as u64
+}
+
+/// Zipf-like rank weights: `w_r = 1 / r^s` for ranks `1..=n`.
+///
+/// Used for within-topic popularity ordering of interests in the catalog.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (1..=n).map(|r| (r as f64).powf(-s)).collect()
+}
+
+/// Walker alias table for O(1) categorical sampling.
+///
+/// Country assignment draws one of 50 (Table 3) or 80 (Table 4) categories
+/// per user; interest assignment draws from ~99k-entry weight tables. Both
+/// need constant-time draws.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero. These are programming errors in the caller's
+    /// model construction, not runtime conditions.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining entries are numerically 1.0.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xFACE_B00C)
+    }
+
+    #[test]
+    fn log10_normal_median_recovered() {
+        let d = Log10Normal::from_median(418_530.0, 0.876);
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        // Within 5% of the target median in log space.
+        assert!((median.log10() - 418_530f64.log10()).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn from_quartiles_matches_paper_figure2() {
+        let d = Log10Normal::from_quartiles(113_193.0, 1_719_925.0);
+        assert!((d.quantile(0.25) - 113_193.0).abs() / 113_193.0 < 1e-6);
+        assert!((d.quantile(0.75) - 1_719_925.0).abs() / 1_719_925.0 < 1e-6);
+        let med = d.median();
+        // Geometric mean of the quartiles ≈ 441k, close to the paper's 418k.
+        assert!(med > 300_000.0 && med < 600_000.0, "median {med}");
+    }
+
+    #[test]
+    fn sample_clamped_respects_bounds() {
+        let d = Log10Normal::from_median(426.0, 0.6);
+        let mut r = rng();
+        for _ in 0..5_000 {
+            let x = d.sample_clamped(&mut r, 1.0, 9_000.0);
+            assert!((1.0..=9_000.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_quantile_symmetry_and_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.025) + 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.75) - 0.674_489_75).abs() < 1e-6);
+        for p in [0.001, 0.1, 0.3, 0.7, 0.9, 0.999] {
+            assert!((normal_quantile(p) + normal_quantile(1.0 - p)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "normal_quantile requires p in (0,1)")]
+    fn normal_quantile_rejects_zero() {
+        normal_quantile(0.0);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn poisson_small_mean_moments() {
+        let mut r = rng();
+        let n = 30_000;
+        let mean_target = 3.7;
+        let total: u64 = (0..n).map(|_| poisson(&mut r, mean_target)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - mean_target).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approx() {
+        let mut r = rng();
+        let n = 10_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut r, 400.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 400.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_weights_decrease() {
+        let w = zipf_weights(10, 1.1);
+        assert_eq!(w.len(), 10);
+        assert!(w.windows(2).all(|p| p[0] > p[1]));
+        assert_eq!(w[0], 1.0);
+    }
+
+    #[test]
+    fn alias_table_frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let mut r = rng();
+        let mut counts = [0u64; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[table.sample(&mut r)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = counts[i] as f64 / n as f64;
+            assert!((observed - expected).abs() < 0.01, "cat {i}: {observed} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn alias_table_zero_weight_category_never_drawn() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert_eq!(table.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn alias_table_rejects_empty() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn alias_table_rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn alias_table_rejects_negative() {
+        AliasTable::new(&[1.0, -0.5]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figures 1 and 2 of the paper are ECDFs (interests per user, and audience
+//! size per interest). This module provides an [`Ecdf`] type that evaluates
+//! `F(x) = #{x_i <= x} / n`, inverts it, and exports evenly spaced series for
+//! plotting or table output.
+
+use crate::quantile::{QuantileError, SortedSample};
+
+/// An empirical CDF over a finite sample.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: SortedSample,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample.
+    ///
+    /// # Errors
+    ///
+    /// Fails for empty samples or samples containing NaN.
+    pub fn new(sample: &[f64]) -> Result<Self, QuantileError> {
+        Ok(Self { sorted: SortedSample::new(sample)? })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for a constructed ECDF).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates `F(x)`: the fraction of observations `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let values = self.sorted.values();
+        // partition_point gives the count of elements <= x because the
+        // predicate is `v <= x` over an ascending slice.
+        let count = values.partition_point(|&v| v <= x);
+        count as f64 / values.len() as f64
+    }
+
+    /// Inverse ECDF: the smallest observation `x` with `F(x) >= p`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `p` is not a finite probability in `[0, 1]`.
+    pub fn inverse(&self, p: f64) -> Result<f64, QuantileError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(QuantileError::InvalidProbability);
+        }
+        let values = self.sorted.values();
+        let n = values.len();
+        if p == 0.0 {
+            return Ok(values[0]);
+        }
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+        Ok(values[rank - 1])
+    }
+
+    /// Interpolated quantile (type 7) — convenience passthrough.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `p` is not a finite probability in `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> Result<f64, QuantileError> {
+        self.sorted.quantile(p)
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        self.sorted.values()[0]
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.values().last().expect("non-empty by construction")
+    }
+
+    /// Exports the full step-function series as `(x, F(x))` pairs, one per
+    /// distinct observation. Suitable for plotting Figures 1 and 2.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        let values = self.sorted.values();
+        let n = values.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            let f = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == v => last.1 = f,
+                _ => out.push((v, f)),
+            }
+        }
+        out
+    }
+
+    /// Exports `k` points of the CDF evaluated at evenly spaced probabilities
+    /// `1/k, 2/k, …, 1`, as `(quantile, probability)` pairs. This is the
+    /// compact representation used by the figure-regeneration binaries.
+    pub fn sampled_series(&self, k: usize) -> Vec<(f64, f64)> {
+        (1..=k)
+            .map(|i| {
+                let p = i as f64 / k as f64;
+                (self.inverse(p).expect("p in (0,1]"), p)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ecdf(xs: &[f64]) -> Ecdf {
+        Ecdf::new(xs).unwrap()
+    }
+
+    #[test]
+    fn eval_basic() {
+        let e = ecdf(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.0), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn eval_with_ties() {
+        let e = ecdf(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(1.9), 0.25);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let e = ecdf(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.inverse(0.2).unwrap(), 10.0);
+        assert_eq!(e.inverse(0.21).unwrap(), 20.0);
+        assert_eq!(e.inverse(1.0).unwrap(), 50.0);
+        assert_eq!(e.inverse(0.0).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn inverse_invalid_probability() {
+        let e = ecdf(&[1.0]);
+        assert!(e.inverse(-0.01).is_err());
+        assert!(e.inverse(1.5).is_err());
+        assert!(e.inverse(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn series_is_monotone_and_ends_at_one() {
+        let e = ecdf(&[3.0, 1.0, 2.0, 2.0, 5.0]);
+        let s = e.series();
+        assert!(s.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+        assert_eq!(s.last().unwrap().1, 1.0);
+        // 4 distinct values
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn sampled_series_has_k_points() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let e = ecdf(&xs);
+        let s = e.sampled_series(10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[9], (100.0, 1.0));
+        assert_eq!(s[4], (50.0, 0.5));
+    }
+
+    #[test]
+    fn min_max() {
+        let e = ecdf(&[4.0, -1.0, 9.0]);
+        assert_eq!(e.min(), -1.0);
+        assert_eq!(e.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_errors() {
+        assert!(Ecdf::new(&[]).is_err());
+    }
+
+    #[test]
+    fn eval_inverse_consistency() {
+        // F(F^{-1}(p)) >= p for all p in the sample's rank grid.
+        let xs = [2.0, 4.0, 4.0, 7.0, 9.0, 9.0, 12.0];
+        let e = ecdf(&xs);
+        for i in 1..=20 {
+            let p = i as f64 / 20.0;
+            let x = e.inverse(p).unwrap();
+            assert!(e.eval(x) >= p - 1e-12, "p={p} x={x} F(x)={}", e.eval(x));
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Log-spaced histograms.
+//!
+//! Audience sizes span 20 … 2×10⁸ users, so reporting uses logarithmically
+//! spaced bins (one or more bins per decade). These back the textual
+//! "figure" output of the regeneration binaries.
+
+/// A histogram with logarithmically spaced bins over `[lo, hi)`.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    lo: f64,
+    hi: f64,
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram with `bins_per_decade` bins per factor of ten,
+    /// covering `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo <= 0`, `hi <= lo`, or `bins_per_decade == 0` — these
+    /// are construction-time programming errors.
+    pub fn new(lo: f64, hi: f64, bins_per_decade: usize) -> Self {
+        assert!(lo > 0.0, "log histogram needs lo > 0");
+        assert!(hi > lo, "log histogram needs hi > lo");
+        assert!(bins_per_decade > 0, "need at least one bin per decade");
+        let decades = (hi / lo).log10();
+        let n_bins = (decades * bins_per_decade as f64).ceil() as usize;
+        let step = decades / n_bins as f64;
+        let edges: Vec<f64> = (0..=n_bins)
+            .map(|i| lo * 10f64.powf(step * i as f64))
+            .collect();
+        Self { lo, hi, counts: vec![0; n_bins], edges, underflow: 0, overflow: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() || x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        // Bin index from the log position; clamp for boundary rounding.
+        let n = self.counts.len();
+        let pos = (x / self.lo).log10() / (self.hi / self.lo).log10() * n as f64;
+        let idx = (pos as usize).min(n - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Records many observations.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Total recorded observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Observations below `lo` (or non-finite).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterator of `(bin_lo, bin_hi, count)`.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        self.edges
+            .windows(2)
+            .zip(&self.counts)
+            .map(|(w, &c)| (w[0], w[1], c))
+    }
+
+    /// Renders a compact ASCII bar chart, one line per non-empty bin.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (lo, hi, c) in self.bins() {
+            if c == 0 {
+                continue;
+            }
+            let bar_len = ((c as f64 / max as f64) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "[{lo:>12.0}, {hi:>12.0})  {c:>8}  {}\n",
+                "#".repeat(bar_len.max(1))
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_cover_range_contiguously() {
+        let h = LogHistogram::new(10.0, 10_000.0, 2);
+        let edges: Vec<(f64, f64, u64)> = h.bins().collect();
+        assert_eq!(edges.len(), 6); // 3 decades × 2 bins
+        assert!((edges[0].0 - 10.0).abs() < 1e-9);
+        assert!((edges.last().unwrap().1 - 10_000.0).abs() / 10_000.0 < 1e-9);
+        for w in edges.windows(2) {
+            assert!((w[0].1 - w[1].0).abs() / w[0].1 < 1e-12);
+        }
+    }
+
+    #[test]
+    fn record_places_values_in_correct_bin() {
+        let mut h = LogHistogram::new(1.0, 1_000.0, 1);
+        h.record(5.0); // decade [1,10)
+        h.record(50.0); // decade [10,100)
+        h.record(500.0); // decade [100,1000)
+        let counts: Vec<u64> = h.bins().map(|(_, _, c)| c).collect();
+        assert_eq!(counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn underflow_overflow_counted() {
+        let mut h = LogHistogram::new(10.0, 100.0, 1);
+        h.record(5.0);
+        h.record(100.0);
+        h.record(1e9);
+        h.record(f64::NAN);
+        assert_eq!(h.underflow(), 2); // 5.0 and NaN
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let mut h = LogHistogram::new(10.0, 1_000.0, 1);
+        h.record(10.0); // inclusive lower edge
+        h.record(999.999);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn render_non_empty() {
+        let mut h = LogHistogram::new(1.0, 100.0, 1);
+        h.record_all([2.0, 3.0, 30.0]);
+        let s = h.render(20);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo > 0")]
+    fn rejects_non_positive_lo() {
+        LogHistogram::new(0.0, 10.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "hi > lo")]
+    fn rejects_inverted_range() {
+        LogHistogram::new(10.0, 10.0, 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! # fbsim-stats
+//!
+//! Statistics substrate for the *Unique on Facebook* (IMC 2021)
+//! reproduction.
+//!
+//! The paper's methodology is built from a small number of classical
+//! statistical tools: empirical quantiles of audience-size distributions,
+//! ordinary least-squares regression in log–log space, percentile-bootstrap
+//! confidence intervals, and empirical CDFs for the dataset description
+//! figures. The Rust statistics ecosystem is thin, and the methods are small
+//! and well specified, so this crate implements them from scratch with
+//! exhaustive tests rather than pulling in a large numerical dependency.
+//!
+//! Modules:
+//!
+//! * [`mod@quantile`] — type-7 (linear interpolation) quantiles, the default of
+//!   R and NumPy, which the paper's analysis pipeline used.
+//! * [`ecdf`] — empirical cumulative distribution functions (Figures 1 and 2).
+//! * [`regression`] — simple OLS with R², used for the
+//!   `log(V_AS(Q)) ~ -A·log(N+1) + B` fit of Section 4.1.
+//! * [`bootstrap`] — seeded percentile-bootstrap confidence intervals
+//!   (the paper uses 10,000 resamples for the 95% CI of `N_P`).
+//! * [`dist`] — seeded samplers for the heavy-tailed distributions that
+//!   drive the synthetic population (log-normal, Zipf, Poisson, alias
+//!   tables for categorical draws).
+//! * [`ks`] — Kolmogorov–Smirnov distances for validating that generated
+//!   samples follow their target distributions (Figs. 1 and 2 are CDFs).
+//! * [`summary`] — descriptive statistics.
+//! * [`histogram`] — log-spaced histograms for reporting.
+//!
+//! Everything that samples takes an explicit RNG so the whole reproduction
+//! is deterministic for a given seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bootstrap;
+pub mod dist;
+pub mod ecdf;
+pub mod histogram;
+pub mod ks;
+pub mod quantile;
+pub mod regression;
+pub mod summary;
+
+pub use bootstrap::{bootstrap_ci, BootstrapCi};
+pub use ecdf::Ecdf;
+pub use quantile::{quantile, quantiles};
+pub use regression::{LinearFit, OlsError};
+pub use summary::Summary;

@@ -1,0 +1,175 @@
+//! §8.3 countermeasure evaluation.
+//!
+//! Replays the 21-campaign experiment plan under each proposed platform
+//! policy and reports what gets blocked — in particular whether every
+//! campaign that succeeded under the current policy would have been stopped.
+//! Also evaluates the custom-audience padding bypass against the
+//! active-audience rule.
+
+use fbsim_adplatform::custom_audience::CustomAudience;
+use fbsim_adplatform::policy::{
+    CombinedPolicy, InterestCapPolicy, MinActiveAudiencePolicy, PlatformPolicy,
+};
+use fbsim_adplatform::reach::{AdsManagerApi, ReportingEra};
+use fbsim_population::World;
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::ExperimentResult;
+use crate::validate::NanotargetingVerdict;
+
+/// Evaluation of one policy against the executed experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyEvaluation {
+    /// Policy name.
+    pub policy: String,
+    /// Campaigns blocked at launch (out of 21).
+    pub blocked: usize,
+    /// Total campaigns evaluated.
+    pub total: usize,
+    /// Of the campaigns that *succeeded* under the current policy, how many
+    /// this policy would have blocked.
+    pub successes_blocked: usize,
+    /// Successful campaigns under the current policy.
+    pub successes_total: usize,
+}
+
+impl PolicyEvaluation {
+    /// Whether the policy blocks every successful nanotargeting campaign.
+    pub fn blocks_all_successes(&self) -> bool {
+        self.successes_blocked == self.successes_total
+    }
+}
+
+/// Replays the experiment's campaigns against a policy.
+pub fn evaluate_policy<P: PlatformPolicy>(
+    world: &World,
+    result: &ExperimentResult,
+    policy: &P,
+) -> PolicyEvaluation {
+    let api = AdsManagerApi::new(world, ReportingEra::Post2018);
+    let mut blocked = 0;
+    let mut successes_blocked = 0;
+    let mut successes_total = 0;
+    for (campaign, row) in result.plan.campaigns.iter().zip(&result.rows) {
+        let true_reach = api.true_reach(&campaign.spec.targeting);
+        let is_blocked = policy.evaluate(&campaign.spec, true_reach).is_err();
+        if is_blocked {
+            blocked += 1;
+        }
+        if row.verdict == NanotargetingVerdict::Success {
+            successes_total += 1;
+            if is_blocked {
+                successes_blocked += 1;
+            }
+        }
+    }
+    PolicyEvaluation {
+        policy: policy.name().to_string(),
+        blocked,
+        total: result.rows.len(),
+        successes_blocked,
+        successes_total,
+    }
+}
+
+/// The full §8.3 evaluation: both proposals separately and combined.
+pub fn evaluate_all(world: &World, result: &ExperimentResult) -> Vec<PolicyEvaluation> {
+    vec![
+        evaluate_policy(world, result, &InterestCapPolicy::paper_proposal()),
+        evaluate_policy(world, result, &MinActiveAudiencePolicy::paper_proposal()),
+        evaluate_policy(world, result, &CombinedPolicy::paper_proposal()),
+    ]
+}
+
+/// The custom-audience bypass under the active-audience rule: a 100-record
+/// list padded with unreachable accounts reaches one person, which the
+/// active-minimum policy rejects.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BypassEvaluation {
+    /// Records in the uploaded list.
+    pub list_size: usize,
+    /// Accounts FB's current rule counts.
+    pub matched: usize,
+    /// Active accounts the §8.3 rule counts.
+    pub active_matched: usize,
+    /// Whether the current 100-record rule admits the audience.
+    pub passes_current_rule: bool,
+    /// Whether the §8.3 active-minimum (1,000) admits it.
+    pub passes_active_minimum: bool,
+}
+
+/// Evaluates the single-target padding bypass.
+pub fn evaluate_custom_audience_bypass() -> BypassEvaluation {
+    let list = CustomAudience::bypass_list(0x7A26E7, 99);
+    let audience = CustomAudience::create(list, true).expect("list meets the current minimum");
+    BypassEvaluation {
+        list_size: audience.list_size(),
+        matched: audience.matched(),
+        active_matched: audience.active_matched(),
+        passes_current_rule: audience.list_size() >= 100,
+        passes_active_minimum: audience.active_matched() as u64
+            >= MinActiveAudiencePolicy::paper_proposal().min_active,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_experiment, ExperimentConfig};
+    use fbsim_population::{MaterializedUser, WorldConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    fn fixture() -> &'static (World, ExperimentResult) {
+        static FIX: OnceLock<(World, ExperimentResult)> = OnceLock::new();
+        FIX.get_or_init(|| {
+            let world = World::generate(WorldConfig::test_scale(13)).unwrap();
+            let mut rng = StdRng::seed_from_u64(99);
+            let targets: Vec<MaterializedUser> = (0..3)
+                .map(|_| world.materializer().sample_user_with_count(&mut rng, 120))
+                .collect();
+            let refs: Vec<&MaterializedUser> = targets.iter().collect();
+            let result = run_experiment(&world, &refs, &ExperimentConfig::default()).unwrap();
+            (world, result)
+        })
+    }
+
+    #[test]
+    fn interest_cap_blocks_all_deep_campaigns() {
+        let (world, result) = fixture();
+        let eval = evaluate_policy(world, result, &InterestCapPolicy::paper_proposal());
+        // 12, 18, 20, 22 and 9-interest campaigns exceed the cap of 8:
+        // 5 sizes × 3 users = 15 blocked.
+        assert_eq!(eval.blocked, 15);
+        assert!(eval.blocks_all_successes());
+    }
+
+    #[test]
+    fn min_audience_blocks_all_successes() {
+        let (world, result) = fixture();
+        let eval = evaluate_policy(world, result, &MinActiveAudiencePolicy::paper_proposal());
+        assert!(eval.blocks_all_successes(), "{eval:?}");
+        // Broad 5-interest campaigns stay allowed.
+        assert!(eval.blocked < eval.total, "{eval:?}");
+    }
+
+    #[test]
+    fn combined_blocks_everything_either_blocks() {
+        let (world, result) = fixture();
+        let evals = evaluate_all(world, result);
+        assert_eq!(evals.len(), 3);
+        let combined = &evals[2];
+        assert!(combined.blocked >= evals[0].blocked.max(evals[1].blocked));
+        assert!(combined.blocks_all_successes());
+    }
+
+    #[test]
+    fn bypass_caught_only_by_active_rule() {
+        let eval = evaluate_custom_audience_bypass();
+        assert!(eval.passes_current_rule);
+        assert!(!eval.passes_active_minimum);
+        assert_eq!(eval.active_matched, 1);
+        assert_eq!(eval.matched, 100);
+    }
+}

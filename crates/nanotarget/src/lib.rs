@@ -1,0 +1,38 @@
+//! # nanotarget
+//!
+//! The nanotargeting experiment of Section 5, end to end, plus the §8
+//! countermeasure evaluation.
+//!
+//! * [`plan`] — the experiment plan: 3 target users × 7 nested random
+//!   interest sets (5, 7, 9, 12, 18, 20, 22), Success Group vs Failure
+//!   Group, one ad creativity and landing page per campaign.
+//! * [`weblog`] — the landing-page click log with secret-keyed IP
+//!   pseudonymisation (the paper's privacy measure for click validation).
+//! * [`validate`] — the three-signal success criterion: dashboard
+//!   `reached == 1`, a click-log record, and a "Why am I seeing this ad?"
+//!   snapshot matching the configured audience. A campaign *fails* as a
+//!   nanotargeting attempt whenever more than one user is reached, even if
+//!   the target is among them.
+//! * [`experiment`] — runs the 21 campaigns against the delivery simulator
+//!   and produces Table 2.
+//! * [`countermeasures`] — replays the experiment (and the custom-audience
+//!   bypass) under the §8.3 policies and reports what is blocked.
+//! * [`inference`] — the Korolova-style attribute-inference attack of
+//!   §7.2.1: once an audience pins a single person, per-candidate probe
+//!   campaigns reveal their private attributes; also blocked by the §8.3
+//!   active-audience minimum.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod countermeasures;
+pub mod experiment;
+pub mod inference;
+pub mod plan;
+pub mod validate;
+pub mod weblog;
+
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, Table2Row};
+pub use plan::{CampaignPlan, ExperimentPlan};
+pub use validate::{validate_campaign, NanotargetingVerdict, ValidationSignals};
+pub use weblog::{ClickLog, PseudonymizedIp};

@@ -1,0 +1,32 @@
+//! Property-based tests of the experiment harness primitives.
+
+use nanotarget::weblog::{pseudonymize, ClickLog};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pseudonymisation_is_deterministic_and_keyed(ip: [u8; 4], k1: u64, k2: u64) {
+        prop_assert_eq!(pseudonymize(ip, k1), pseudonymize(ip, k1));
+        if k1 != k2 {
+            // Different keys virtually never collide.
+            prop_assert_ne!(pseudonymize(ip, k1), pseudonymize(ip, k2));
+        }
+    }
+
+    #[test]
+    fn unique_sources_bounded_by_clicks(
+        clicks in prop::collection::vec((any::<[u8; 4]>(), 0.0f64..33.0), 0..50),
+        key: u64,
+    ) {
+        let mut log = ClickLog::new();
+        for (ip, t) in &clicks {
+            log.record("lp", *t, *ip, key);
+        }
+        prop_assert_eq!(log.click_count("lp"), clicks.len());
+        prop_assert!(log.unique_sources("lp") <= clicks.len());
+        let mut distinct: Vec<[u8; 4]> = clicks.iter().map(|(ip, _)| *ip).collect();
+        distinct.sort();
+        distinct.dedup();
+        prop_assert_eq!(log.unique_sources("lp"), distinct.len());
+    }
+}

@@ -1,0 +1,34 @@
+//! # reach-api
+//!
+//! The networked Marketing-API substrate: a framed JSON-lines TCP service
+//! exposing *Potential Reach* queries, with per-connection rate limiting,
+//! plus the blocking client the data-collection pipeline uses.
+//!
+//! The paper's uniqueness dataset was collected by querying Facebook's
+//! remote Marketing API for thousands of audience combinations — a
+//! networked, rate-limited client/server interaction. This crate reproduces
+//! that split so the pipeline exercises real sockets (loopback in tests):
+//!
+//! * [`proto`] — versioned request/response types and the newline-delimited
+//!   JSON framing codec (built on `bytes`).
+//! * [`server`] — a thread-per-connection `std::net` TCP server over a
+//!   shared [`fbsim_population::World`], applying the reporting floor
+//!   server-side and throttling each connection with a token bucket.
+//! * [`client`] — a blocking client with exponential backoff on
+//!   rate-limit responses.
+//!
+//! Synchronous by design: the workload is a modest number of long-lived
+//! connections doing CPU-bound reach computations, which the async
+//! networking guides themselves classify as a case where an async runtime
+//! buys nothing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{ClientError, ReachClient};
+pub use proto::{ReachRequest, ReachResponse};
+pub use server::{RateLimitConfig, ReachServer, ServerConfig};

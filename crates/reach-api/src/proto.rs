@@ -1,0 +1,221 @@
+//! Wire protocol: versioned JSON messages, newline-delimited.
+//!
+//! One request per line, one response per line, UTF-8 JSON. The framing
+//! codec accumulates bytes (via [`bytes::BytesMut`]) and yields complete
+//! frames; partial lines stay buffered, oversized lines are rejected — the
+//! classic pitfalls the framing chapter of the Tokio guide warns about,
+//! handled explicitly.
+
+use bytes::{Buf, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Protocol version this build speaks.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Maximum frame length (a 25-interest request is ~500 bytes; 64 KiB is
+/// generous headroom while still bounding memory per connection).
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// A potential-reach query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReachRequest {
+    /// Protocol version (must equal [`PROTOCOL_VERSION`]).
+    pub v: u32,
+    /// Two-letter country codes (1..=50, the compulsory location set).
+    pub locations: Vec<String>,
+    /// Interest ids forming the conjunction (0..=25).
+    pub interests: Vec<u32>,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ReachResponse {
+    /// Successful reach report.
+    Reach {
+        /// Reported potential reach (floor applied).
+        reported: u64,
+        /// Whether the floor masked a smaller value.
+        floored: bool,
+        /// Whether the "audience too narrow" advisory applies.
+        too_narrow_warning: bool,
+    },
+    /// The connection exceeded its rate budget; retry after the given
+    /// backoff.
+    RateLimited {
+        /// Suggested wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request was invalid.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Errors from the framing codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A line exceeded [`MAX_FRAME`] before its newline arrived.
+    Oversized,
+    /// A complete frame was not valid UTF-8 JSON of the expected type.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized => write!(f, "frame exceeds {MAX_FRAME} bytes"),
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Newline-delimited frame accumulator.
+#[derive(Debug, Default)]
+pub struct FrameCodec {
+    buffer: BytesMut,
+}
+
+impl FrameCodec {
+    /// An empty codec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds received bytes into the buffer.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buffer.extend_from_slice(data);
+    }
+
+    /// Pops the next complete frame (without its newline), if any.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] when the buffered partial line exceeds
+    /// [`MAX_FRAME`]; the connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if let Some(pos) = self.buffer.iter().position(|&b| b == b'\n') {
+            if pos > MAX_FRAME {
+                return Err(FrameError::Oversized);
+            }
+            let mut frame = self.buffer.split_to(pos + 1);
+            frame.truncate(pos); // drop the newline
+            return Ok(Some(frame.to_vec()));
+        }
+        if self.buffer.len() > MAX_FRAME {
+            return Err(FrameError::Oversized);
+        }
+        Ok(None)
+    }
+
+    /// Bytes currently buffered (for tests and diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buffer.remaining()
+    }
+}
+
+/// Encodes a serialisable message as one frame (JSON + newline).
+pub fn encode<T: Serialize>(message: &T) -> Vec<u8> {
+    let mut line = serde_json::to_vec(message).expect("protocol types serialise");
+    line.push(b'\n');
+    line
+}
+
+/// Decodes one frame into a message.
+///
+/// # Errors
+///
+/// [`FrameError::Malformed`] with the serde error text.
+pub fn decode<T: for<'de> Deserialize<'de>>(frame: &[u8]) -> Result<T, FrameError> {
+    serde_json::from_slice(frame).map_err(|e| FrameError::Malformed(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> ReachRequest {
+        ReachRequest {
+            v: PROTOCOL_VERSION,
+            locations: vec!["ES".into(), "FR".into()],
+            interests: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let frame = encode(&request());
+        assert_eq!(*frame.last().unwrap(), b'\n');
+        let back: ReachRequest = decode(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(back, request());
+    }
+
+    #[test]
+    fn response_variants_round_trip() {
+        for response in [
+            ReachResponse::Reach { reported: 1_000, floored: true, too_narrow_warning: true },
+            ReachResponse::RateLimited { retry_after_ms: 250 },
+            ReachResponse::Error { message: "nope".into() },
+        ] {
+            let frame = encode(&response);
+            let back: ReachResponse = decode(&frame[..frame.len() - 1]).unwrap();
+            assert_eq!(back, response);
+        }
+    }
+
+    #[test]
+    fn codec_handles_partial_frames() {
+        let mut codec = FrameCodec::new();
+        let frame = encode(&request());
+        let (a, b) = frame.split_at(frame.len() / 2);
+        codec.feed(a);
+        assert_eq!(codec.next_frame().unwrap(), None);
+        codec.feed(b);
+        let got = codec.next_frame().unwrap().unwrap();
+        let back: ReachRequest = decode(&got).unwrap();
+        assert_eq!(back, request());
+        assert_eq!(codec.next_frame().unwrap(), None);
+        assert_eq!(codec.buffered(), 0);
+    }
+
+    #[test]
+    fn codec_handles_multiple_frames_per_feed() {
+        let mut codec = FrameCodec::new();
+        let mut data = encode(&request());
+        data.extend(encode(&request()));
+        codec.feed(&data);
+        assert!(codec.next_frame().unwrap().is_some());
+        assert!(codec.next_frame().unwrap().is_some());
+        assert!(codec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_partial_line_rejected() {
+        let mut codec = FrameCodec::new();
+        codec.feed(&vec![b'x'; MAX_FRAME + 1]);
+        assert_eq!(codec.next_frame(), Err(FrameError::Oversized));
+    }
+
+    #[test]
+    fn oversized_complete_line_rejected() {
+        let mut codec = FrameCodec::new();
+        let mut data = vec![b'x'; MAX_FRAME + 1];
+        data.push(b'\n');
+        codec.feed(&data);
+        assert_eq!(codec.next_frame(), Err(FrameError::Oversized));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        let err = decode::<ReachRequest>(b"{not json").unwrap_err();
+        assert!(matches!(err, FrameError::Malformed(_)));
+    }
+
+    #[test]
+    fn empty_frame_is_malformed() {
+        assert!(decode::<ReachRequest>(b"").is_err());
+    }
+}

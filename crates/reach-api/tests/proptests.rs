@@ -1,0 +1,60 @@
+//! Property-based tests of the wire protocol.
+
+use proptest::prelude::*;
+use reach_api::proto::{decode, encode, FrameCodec, ReachRequest, ReachResponse};
+
+proptest! {
+    #[test]
+    fn request_round_trips(
+        v in 0u32..5,
+        locations in prop::collection::vec("[A-Z]{2}", 0..10),
+        interests in prop::collection::vec(any::<u32>(), 0..30),
+    ) {
+        let request = ReachRequest { v, locations, interests };
+        let frame = encode(&request);
+        let back: ReachRequest = decode(&frame[..frame.len() - 1]).unwrap();
+        prop_assert_eq!(back, request);
+    }
+
+    #[test]
+    fn codec_reassembles_arbitrary_chunking(
+        requests in prop::collection::vec(prop::collection::vec(any::<u32>(), 0..10), 1..6),
+        chunk in 1usize..64,
+    ) {
+        let mut wire = Vec::new();
+        let originals: Vec<ReachRequest> = requests
+            .into_iter()
+            .map(|interests| ReachRequest { v: 1, locations: vec!["US".into()], interests })
+            .collect();
+        for r in &originals {
+            wire.extend(encode(r));
+        }
+        let mut codec = FrameCodec::new();
+        let mut decoded = Vec::new();
+        for piece in wire.chunks(chunk) {
+            codec.feed(piece);
+            while let Some(frame) = codec.next_frame().unwrap() {
+                decoded.push(decode::<ReachRequest>(&frame).unwrap());
+            }
+        }
+        prop_assert_eq!(decoded, originals);
+    }
+
+    #[test]
+    fn responses_round_trip(reported in any::<u64>(), floored: bool, warn: bool) {
+        let response = ReachResponse::Reach { reported, floored, too_narrow_warning: warn };
+        let frame = encode(&response);
+        let back: ReachResponse = decode(&frame[..frame.len() - 1]).unwrap();
+        prop_assert_eq!(back, response);
+    }
+
+    #[test]
+    fn garbage_never_panics(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let mut codec = FrameCodec::new();
+        codec.feed(&data);
+        // Draining frames and decoding them must never panic.
+        while let Ok(Some(frame)) = codec.next_frame() {
+            let _ = decode::<ReachRequest>(&frame);
+        }
+    }
+}

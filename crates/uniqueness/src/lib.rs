@@ -1,0 +1,41 @@
+//! # uniqueness
+//!
+//! The paper's primary contribution (Section 4): a data-driven model of how
+//! many interests make a user unique on Facebook.
+//!
+//! The pipeline is exactly the paper's:
+//!
+//! 1. [`selection`] — for each cohort user, build a *nested* sequence of up
+//!    to 25 interests, either the user's least popular (LP) or a random
+//!    subset (R).
+//! 2. [`vectors`] — query the (simulated) Ads Manager for the potential
+//!    reach of every prefix, giving per-user audience-size vectors; collect
+//!    the quantile vector `V_AS(Q) = [AS(Q,1) … AS(Q,25)]`.
+//! 3. [`fit`] — fit `log10(V_AS(Q)) ~ B − A·log10(N+1)`, keeping the first
+//!    floor-censored point and dropping the rest (the paper's conservative
+//!    handling of FB's minimum reported audience), and define
+//!    `N_P = 10^(B/A) − 1`, the interest count at which the fitted audience
+//!    reaches one user.
+//! 4. [`np`] — assemble Table 1: `N_P` for P ∈ {0.5, 0.8, 0.9, 0.95} under
+//!    both strategies, with 95% bootstrap confidence intervals (10,000
+//!    resamples of the cohort) and the fit's R².
+//! 5. [`demographics`] — the Appendix-C analyses: `N(LP)_0.9` and
+//!    `N(R)_0.9` by gender, age band and country.
+//! 6. [`refined`] — the §9 future-work extension: `N_P` when interests are
+//!    combined with the target's country / gender / age, which lowers the
+//!    interest count a nanotargeting attack needs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod demographics;
+pub mod fit;
+pub mod refined;
+pub mod np;
+pub mod selection;
+pub mod vectors;
+
+pub use fit::{fit_np, NpFit};
+pub use np::{NpEstimate, NpTable};
+pub use selection::SelectionStrategy;
+pub use vectors::AudienceVectors;

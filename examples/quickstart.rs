@@ -1,0 +1,46 @@
+//! Quickstart: build a world, collect a cohort, estimate how many interests
+//! make a user unique.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use unique_on_facebook::adplatform::reach::{AdsManagerApi, ReportingEra};
+use unique_on_facebook::fdvt::dataset::CohortConfig;
+use unique_on_facebook::fdvt::FdvtDataset;
+use unique_on_facebook::population::{MaterializedUser, World, WorldConfig};
+use unique_on_facebook::uniqueness::np::NpTable;
+use unique_on_facebook::uniqueness::{AudienceVectors, SelectionStrategy};
+
+fn main() {
+    // 1. A small synthetic world (10M users, 2k interests) — fast enough
+    //    for a demo; swap in `WorldConfig::paper_scale` for the real thing.
+    let world = World::generate(WorldConfig::test_scale(7)).expect("valid config");
+    println!(
+        "world: {} users, {} interests (calibration error {:.1}%)",
+        world.population(),
+        world.catalog().len(),
+        world.calibration().median_rel_error * 100.0
+    );
+
+    // 2. Simulate the FDVT browser extension collecting a research cohort.
+    let cohort = FdvtDataset::generate(
+        &world,
+        CohortConfig { size: 239, seed: 1, demographic_effects: false },
+    );
+    println!("cohort: {} users, {} interest occurrences", cohort.len(), cohort.total_occurrences());
+
+    // 3. Query the (simulated) Ads Manager for audience sizes of nested
+    //    interest combinations, under the 2017 reporting floor of 20.
+    let api = AdsManagerApi::new(&world, ReportingEra::Early2017);
+    let profiles: Vec<&MaterializedUser> = cohort.users.iter().map(|u| &u.profile).collect();
+    let lp = AudienceVectors::collect(&api, &profiles, SelectionStrategy::LeastPopular, 42);
+    let random = AudienceVectors::collect(&api, &profiles, SelectionStrategy::Random, 42);
+
+    // 4. Fit the paper's model: N_P = interests needed for uniqueness with
+    //    probability P, with bootstrap confidence intervals.
+    let table = NpTable::build(&lp, &random, 500, 42).expect("fits converge");
+    println!("\n{}", table.render());
+    println!("Reading: at paper scale the rarest ~4 interests (LP, P=0.9) or ~22 random");
+    println!("interests make a user unique among 1.5B people. This demo world is 150×");
+    println!("smaller with a different interest ecosystem, so its N_P values differ —");
+    println!("run the crates/bench binaries (UOF_SCALE=paper) for the paper-scale numbers.");
+}

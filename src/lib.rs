@@ -1,0 +1,16 @@
+//! # unique-on-facebook
+//!
+//! Facade crate for the Rust reproduction of *Unique on Facebook:
+//! Formulation and Evidence of (Nano)targeting Individual Users with non-PII
+//! Data* (IMC 2021).
+//!
+//! Re-exports the workspace crates under short module names. See the README
+//! for the architecture overview and `examples/` for end-to-end usage.
+
+pub use fbsim_adplatform as adplatform;
+pub use fbsim_fdvt as fdvt;
+pub use fbsim_population as population;
+pub use fbsim_stats as stats;
+pub use nanotarget;
+pub use reach_api;
+pub use uniqueness;

@@ -1,0 +1,127 @@
+//! Cross-crate integration: world → cohort → uniqueness model →
+//! nanotargeting experiment → countermeasures, at test scale.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use unique_on_facebook::adplatform::reach::{AdsManagerApi, ReportingEra};
+use unique_on_facebook::fdvt::dataset::CohortConfig;
+use unique_on_facebook::fdvt::FdvtDataset;
+use unique_on_facebook::nanotarget::countermeasures::evaluate_all;
+use unique_on_facebook::nanotarget::{run_experiment, ExperimentConfig};
+use unique_on_facebook::population::{MaterializedUser, World, WorldConfig};
+use unique_on_facebook::uniqueness::np::NpTable;
+use unique_on_facebook::uniqueness::{AudienceVectors, SelectionStrategy};
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::generate(WorldConfig::test_scale(2021)).unwrap())
+}
+
+fn cohort() -> &'static FdvtDataset {
+    static COHORT: OnceLock<FdvtDataset> = OnceLock::new();
+    COHORT.get_or_init(|| {
+        FdvtDataset::generate(
+            world(),
+            CohortConfig { size: 300, seed: 3, demographic_effects: false },
+        )
+    })
+}
+
+#[test]
+fn full_uniqueness_pipeline_produces_paper_shaped_table() {
+    let api = AdsManagerApi::new(world(), ReportingEra::Early2017);
+    let profiles: Vec<&MaterializedUser> = cohort().users.iter().map(|u| &u.profile).collect();
+    let lp = AudienceVectors::collect(&api, &profiles, SelectionStrategy::LeastPopular, 1);
+    let random = AudienceVectors::collect(&api, &profiles, SelectionStrategy::Random, 1);
+    let table = NpTable::build(&lp, &random, 200, 7).unwrap();
+
+    // Shape assertions that hold at any scale:
+    // (1) LP needs far fewer interests than random at every P;
+    for (l, r) in table.lp.iter().zip(&table.random) {
+        assert!(l.value < r.value, "LP {} !< R {} at P={}", l.value, r.value, l.p);
+    }
+    // (2) N_P grows with P within each strategy;
+    for row in [&table.lp, &table.random] {
+        for pair in row.windows(2) {
+            assert!(pair[1].value >= pair[0].value);
+        }
+    }
+    // (3) fits are tight and CIs bracket the estimates.
+    for cell in table.lp.iter().chain(&table.random) {
+        assert!(cell.r_squared > 0.9, "R² {} at P={}", cell.r_squared, cell.p);
+        let ci = cell.ci95.expect("bootstrap ran");
+        assert!(ci.lo <= cell.value && cell.value <= ci.hi);
+    }
+}
+
+#[test]
+fn experiment_and_countermeasures_close_the_loop() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let targets: Vec<MaterializedUser> = (0..3)
+        .map(|_| world().materializer().sample_user_with_count(&mut rng, 150))
+        .collect();
+    let refs: Vec<&MaterializedUser> = targets.iter().collect();
+    let result = run_experiment(world(), &refs, &ExperimentConfig::default()).unwrap();
+    assert_eq!(result.rows.len(), 21);
+    let successes = result.successes().len();
+    assert!(successes > 0, "some campaigns should nanotarget at test scale");
+
+    // Every §8.3 policy blocks every successful campaign.
+    for eval in evaluate_all(world(), &result) {
+        assert!(
+            eval.blocks_all_successes(),
+            "policy {} leaked {}/{} successes",
+            eval.policy,
+            eval.successes_total - eval.successes_blocked,
+            eval.successes_total
+        );
+    }
+}
+
+#[test]
+fn floors_censor_consistently_across_eras() {
+    let profiles: Vec<&MaterializedUser> =
+        cohort().users.iter().take(60).map(|u| &u.profile).collect();
+    let api17 = AdsManagerApi::new(world(), ReportingEra::Early2017);
+    let api18 = AdsManagerApi::new(world(), ReportingEra::Post2018);
+    let v17 = AudienceVectors::collect(&api17, &profiles, SelectionStrategy::Random, 5);
+    let v18 = AudienceVectors::collect(&api18, &profiles, SelectionStrategy::Random, 5);
+    // Same users, same sequences: the post-2018 rows dominate (the floor
+    // only raises reported values).
+    for (a, b) in v17.rows().iter().zip(v18.rows()) {
+        for (x, y) in a.iter().zip(b) {
+            assert!(y >= x, "post-2018 report {y} below 2017 report {x}");
+        }
+    }
+    assert!(v18.rows().iter().flatten().all(|&v| v >= 1_000.0));
+}
+
+#[test]
+fn fdvt_defence_shrinks_attack_surface() {
+    use unique_on_facebook::fdvt::RiskReport;
+    let user = cohort()
+        .users
+        .iter()
+        .map(|u| &u.profile)
+        .find(|p| p.interests.len() >= 30)
+        .expect("a rich user");
+    let engine = world().reach_engine();
+    let mut report = RiskReport::build(user, world().catalog());
+    let rarest_before = report.rows()[0].audience_size;
+    report.remove_all_high_risk();
+    if let Some(first_active) = report
+        .rows()
+        .iter()
+        .find(|r| r.status == unique_on_facebook::fdvt::risk::InterestStatus::Active)
+    {
+        assert!(first_active.audience_size >= rarest_before);
+    }
+    // The engine agrees the remaining rarest interest has a bigger audience
+    // than the pre-cleanup rarest one (no high-risk interests left).
+    let remaining = report.active_interests();
+    if let Some(&first) = remaining.first() {
+        let reach = engine.single_reach(first);
+        assert!(reach > 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Integration: the uniqueness data collection driven through the real TCP
+//! reach API, end to end, matching the in-process pipeline.
+
+use std::sync::Arc;
+use unique_on_facebook::adplatform::reach::{AdsManagerApi, ReportingEra};
+use unique_on_facebook::adplatform::targeting::TargetingSpec;
+use unique_on_facebook::population::{World, WorldConfig};
+use unique_on_facebook::reach_api::server::ServerConfig;
+use unique_on_facebook::reach_api::{ReachClient, ReachServer};
+
+#[test]
+fn networked_collection_matches_in_process() {
+    let world = Arc::new(World::generate(WorldConfig::test_scale(31)).unwrap());
+    let server = ReachServer::start(Arc::clone(&world), ServerConfig::default()).unwrap();
+    let mut client = ReachClient::connect(server.addr()).unwrap();
+    let api = AdsManagerApi::new(&world, ReportingEra::Early2017);
+
+    let user = world.materializer().sample_cohort(1, 8).pop().unwrap();
+    let sequence: Vec<u32> = user.interests.iter().take(12).map(|i| i.0).collect();
+    let locations = ["US", "ES", "FR", "BR", "MX"];
+
+    for n in 1..=sequence.len() {
+        let networked = client.potential_reach(&locations, &sequence[..n]).unwrap();
+        let mut builder = TargetingSpec::builder();
+        for code in locations {
+            builder = builder.location(unique_on_facebook::population::CountryCode::new(code));
+        }
+        let spec = builder
+            .interests(
+                sequence[..n]
+                    .iter()
+                    .map(|&i| unique_on_facebook::population::InterestId(i)),
+            )
+            .build()
+            .unwrap();
+        let direct = api.potential_reach(&spec);
+        assert_eq!(networked.reported, direct.reported, "mismatch at n={n}");
+        assert_eq!(networked.floored, direct.floored);
+    }
+    assert_eq!(server.requests_served(), sequence.len() as u64);
+}
