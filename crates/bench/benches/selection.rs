@@ -14,14 +14,10 @@ fn bench_selection(c: &mut Criterion) {
     for &n in &[50usize, 426, 1_500] {
         let user = world.materializer().sample_user_with_count(&mut rng, n);
         for strategy in [SelectionStrategy::LeastPopular, SelectionStrategy::Random] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.label(), n),
-                &user,
-                |b, user| {
-                    let mut inner = StdRng::seed_from_u64(2);
-                    b.iter(|| select_sequence(user, world.catalog(), strategy, &mut inner))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.label(), n), &user, |b, user| {
+                let mut inner = StdRng::seed_from_u64(2);
+                b.iter(|| select_sequence(user, world.catalog(), strategy, &mut inner))
+            });
         }
     }
     group.finish();

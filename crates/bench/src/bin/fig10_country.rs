@@ -22,12 +22,8 @@ fn main() {
     )
     .expect("country groups fit");
     println!("== Figure 10: uniqueness by country (≥{min} users) ==");
-    let paper = [
-        ("ES", 4.29, 21.70),
-        ("FR", 4.21, 19.28),
-        ("MX", 3.96, 22.05),
-        ("AR", 4.03, 24.49),
-    ];
+    let paper =
+        [("ES", 4.29, 21.70), ("FR", 4.21, 19.28), ("MX", 3.96, 22.05), ("AR", 4.03, 24.49)];
     for g in &groups {
         println!("\n{} ({} users):", g.group, g.users);
         match paper.iter().find(|(n, _, _)| *n == g.group) {

@@ -10,8 +10,12 @@ fn main() {
     let cohort = bench::build_cohort(&world, scale);
     let api = AdsManagerApi::new(&world, ReportingEra::Early2017);
     let profiles: Vec<&MaterializedUser> = cohort.users.iter().map(|u| &u.profile).collect();
-    let vectors =
-        AudienceVectors::collect(&api, &profiles, SelectionStrategy::Random, bench::seed_from_env());
+    let vectors = AudienceVectors::collect(
+        &api,
+        &profiles,
+        SelectionStrategy::Random,
+        bench::seed_from_env(),
+    );
     println!("== Figure 3: V_AS(50) and V_AS(90), random selection ==");
     println!("{:>3} {:>14} {:>14} {:>14} {:>14}", "N", "AS(50,N)", "fit50", "AS(90,N)", "fit90");
     let v50 = vectors.v_as(50.0);
@@ -28,7 +32,13 @@ fn main() {
             10f64.powf(f90.b - f90.a * x),
         );
     }
-    println!("\nfit Q=50: A={:.2} B={:.2} R2={:.3} → N_0.5 = {:.2}", f50.a, f50.b, f50.r_squared, f50.np);
-    println!("fit Q=90: A={:.2} B={:.2} R2={:.3} → N_0.9 = {:.2}", f90.a, f90.b, f90.r_squared, f90.np);
+    println!(
+        "\nfit Q=50: A={:.2} B={:.2} R2={:.3} → N_0.5 = {:.2}",
+        f50.a, f50.b, f50.r_squared, f50.np
+    );
+    println!(
+        "fit Q=90: A={:.2} B={:.2} R2={:.3} → N_0.9 = {:.2}",
+        f90.a, f90.b, f90.r_squared, f90.np
+    );
     println!("(floor at 20: first floored point kept, rest censored)");
 }

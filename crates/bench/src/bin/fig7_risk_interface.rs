@@ -43,7 +43,8 @@ fn main() {
 
     // §6: "the threshold for each risk category can be easily modified" —
     // a stricter profile treats everything under 100k as highly risky.
-    let strict = RiskThresholds { high_max: 100_000.0, medium_max: 1_000_000.0, low_max: 10_000_000.0 };
+    let strict =
+        RiskThresholds { high_max: 100_000.0, medium_max: 1_000_000.0, low_max: 10_000_000.0 };
     let mut strict_report = RiskReport::build_with(user, world.catalog(), &strict);
     println!(
         "\nstrict thresholds (High ≤ 100k): High {}, Medium {}, Low {}, None {}",

@@ -9,8 +9,9 @@ fn main() {
     let (scale, world) = bench::build_world();
     let cohort = bench::build_cohort(&world, scale);
     let api = AdsManagerApi::new(&world, ReportingEra::Early2017);
-    let groups = gender_analysis(&api, &cohort, scale.bootstrap_replicates() / 10, bench::seed_from_env())
-        .expect("gender groups fit");
+    let groups =
+        gender_analysis(&api, &cohort, scale.bootstrap_replicates() / 10, bench::seed_from_env())
+            .expect("gender groups fit");
     println!("== Figure 8: uniqueness by gender ==");
     let paper = [("men", 4.16, 21.92), ("women", 4.20, 23.80)];
     for g in &groups {

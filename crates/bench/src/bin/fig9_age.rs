@@ -10,8 +10,9 @@ fn main() {
     let (scale, world) = bench::build_world();
     let cohort = bench::build_cohort(&world, scale);
     let api = AdsManagerApi::new(&world, ReportingEra::Early2017);
-    let groups = age_analysis(&api, &cohort, scale.bootstrap_replicates() / 10, bench::seed_from_env())
-        .expect("age groups fit");
+    let groups =
+        age_analysis(&api, &cohort, scale.bootstrap_replicates() / 10, bench::seed_from_env())
+            .expect("age groups fit");
     println!("== Figure 9: uniqueness by age band ==");
     let paper = [
         ("adolescence", 4.11, 24.92),

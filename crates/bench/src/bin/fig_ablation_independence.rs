@@ -31,11 +31,8 @@ fn main() {
         ids.shuffle(&mut rng);
         ids.truncate(DEPTH);
         correlated_rows.push(engine.nested_reaches(&ids));
-        independent_rows.push(
-            (1..=DEPTH)
-                .map(|n| engine.conjunction_reach_independent(&ids[..n]))
-                .collect(),
-        );
+        independent_rows
+            .push((1..=DEPTH).map(|n| engine.conjunction_reach_independent(&ids[..n])).collect());
     }
     println!("== Ablation: correlated model vs independence baseline ==");
     println!("(median over {USERS} users' random interest sequences)");

@@ -42,8 +42,11 @@ fn main() {
     }
 
     let api = AdsManagerApi::new(&world, ReportingEra::Post2018);
-    let mut protected =
-        CampaignManager::new(api, MinActiveAudiencePolicy::paper_proposal(), DeliveryModel::default());
+    let mut protected = CampaignManager::new(
+        api,
+        MinActiveAudiencePolicy::paper_proposal(),
+        DeliveryModel::default(),
+    );
     let result = infer_age_band(&mut protected, &mut rng, &pins, truth);
     println!(
         "\nunder the §8.3 active-audience minimum: {}/{} probes rejected at launch → oracle closed",

@@ -12,16 +12,10 @@ fn main() {
     let api = AdsManagerApi::new(&world, ReportingEra::Early2017);
     let users: Vec<&FdvtUser> = cohort.users.iter().collect();
     println!("== §9 extension: N(R)_0.9 with demographic refinement ==");
-    let ladder =
-        refinement_ladder(&api, &users, 0.9, bench::seed_from_env()).expect("ladder fits");
+    let ladder = refinement_ladder(&api, &users, 0.9, bench::seed_from_env()).expect("ladder fits");
     println!("{:<32} {:>7} {:>10}", "attributes", "users", "N(R)_0.9");
     for step in &ladder {
-        println!(
-            "{:<32} {:>7} {:>10.2}",
-            step.refinement.label(),
-            step.users,
-            step.np.value
-        );
+        println!("{:<32} {:>7} {:>10.2}", step.refinement.label(), step.users, step.np.value);
     }
     let saved = ladder[0].np.value - ladder.last().unwrap().np.value;
     println!(

@@ -21,10 +21,13 @@ fn main() {
     eprintln!("[run] collecting R vectors…");
     let random = AudienceVectors::collect(&api, &profiles, SelectionStrategy::Random, seed);
     eprintln!("[run] fitting with {} bootstrap replicates…", scale.bootstrap_replicates());
-    let table = NpTable::build(&lp, &random, scale.bootstrap_replicates(), seed).expect("table fits");
+    let table =
+        NpTable::build(&lp, &random, scale.bootstrap_replicates(), seed).expect("table fits");
     println!("== Table 1 ==");
     print!("{}", table.render());
     println!("\npaper reference:");
-    println!("N(LP)_P    | 2.74 (2.72,2.75) | 3.96 (3.91,4.02) | 4.16 (4.09,4.37) | 5.89 (5.62,6.15)");
+    println!(
+        "N(LP)_P    | 2.74 (2.72,2.75) | 3.96 (3.91,4.02) | 4.16 (4.09,4.37) | 5.89 (5.62,6.15)"
+    );
     println!("N(R)_P     | 11.41 (11.21,11.6) | 17.31 (16.98,17.6) | 22.21 (21.73,22.69) | 26.98 (26.34,27.68)");
 }

@@ -27,10 +27,7 @@ fn main() {
         "baseline (current FB policy): {}/21 campaigns nanotargeted successfully\n",
         result.successes().len()
     );
-    println!(
-        "{:<26} {:>12} {:>22}",
-        "policy", "blocked/21", "successes blocked"
-    );
+    println!("{:<26} {:>12} {:>22}", "policy", "blocked/21", "successes blocked");
     for eval in evaluate_all(&world, &result) {
         println!(
             "{:<26} {:>9}/21 {:>12}/{} {}",

@@ -12,6 +12,9 @@
 //!
 //! `UOF_SEED` overrides the master seed (default 2021).
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 use fbsim_fdvt::dataset::CohortConfig;
 use fbsim_fdvt::FdvtDataset;
 use fbsim_population::{World, WorldConfig};
@@ -45,10 +48,7 @@ impl Scale {
     pub fn world_config(self, seed: u64) -> WorldConfig {
         match self {
             Scale::Test => WorldConfig::test_scale(seed),
-            Scale::Medium => WorldConfig {
-                panel_size: 50_000,
-                ..WorldConfig::paper_scale(seed)
-            },
+            Scale::Medium => WorldConfig { panel_size: 50_000, ..WorldConfig::paper_scale(seed) },
             Scale::Paper => WorldConfig::paper_scale(seed),
         }
     }
@@ -74,10 +74,7 @@ impl Scale {
 
 /// Master seed from `UOF_SEED` (default 2021, the publication year).
 pub fn seed_from_env() -> u64 {
-    std::env::var("UOF_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2021)
+    std::env::var("UOF_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2021)
 }
 
 /// Builds the world for the environment-selected scale, logging progress.
@@ -86,6 +83,7 @@ pub fn build_world() -> (Scale, World) {
     let seed = seed_from_env();
     eprintln!("[setup] scale {scale:?}, seed {seed}: generating world…");
     let start = std::time::Instant::now();
+    // lint:allow(no-unwrap) — bench presets are compile-time constants validated by tests
     let world = World::generate(scale.world_config(seed)).expect("preset configs are valid");
     eprintln!(
         "[setup] world ready in {:.1?} (calibration median error {:.3})",

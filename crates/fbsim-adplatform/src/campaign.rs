@@ -9,8 +9,9 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::analyze::SpecAnalyzer;
 use crate::delivery::{simulate_delivery, DeliveryModel, DeliveryReport, MatchedAudience};
-use crate::policy::{PlatformPolicy, PolicyViolation};
+use crate::policy::{PlatformPolicy, PolicyViolation, StaticDecision};
 use crate::reach::AdsManagerApi;
 use crate::targeting::TargetingSpec;
 
@@ -74,6 +75,7 @@ impl Schedule {
             (86.0, 98.0),   // Mon 9-21
             (110.0, 117.0), // Tue 9-16
         ])
+        // lint:allow(no-unwrap) — static constant: the paper schedule is validated by unit tests
         .expect("static schedule is well-formed")
     }
 
@@ -162,17 +164,47 @@ pub struct CampaignManager<'w, P: PlatformPolicy> {
     policy: P,
     model: DeliveryModel,
     campaigns: Vec<CampaignRecord>,
+    analyzer: SpecAnalyzer,
+    static_rejections: usize,
 }
 
 impl<'w, P: PlatformPolicy> CampaignManager<'w, P> {
     /// Creates a manager over an Ads Manager API with a platform policy.
+    ///
+    /// The manager builds a catalog-marginal [`SpecAnalyzer`] for the §8
+    /// pre-flight; use [`CampaignManager::with_analyzer`] to supply
+    /// engine-measured marginals instead.
     pub fn new(api: AdsManagerApi<'w>, policy: P, model: DeliveryModel) -> Self {
-        Self { api, policy, model, campaigns: Vec::new() }
+        let world = api.world();
+        let analyzer = SpecAnalyzer::from_catalog(world.catalog(), world.population() as f64);
+        Self::with_analyzer(api, policy, model, analyzer)
+    }
+
+    /// Creates a manager with an explicit spec analyzer (e.g. one built via
+    /// [`SpecAnalyzer::from_engine`] for exact pre-flight bounds).
+    pub fn with_analyzer(
+        api: AdsManagerApi<'w>,
+        policy: P,
+        model: DeliveryModel,
+        analyzer: SpecAnalyzer,
+    ) -> Self {
+        Self { api, policy, model, campaigns: Vec::new(), analyzer, static_rejections: 0 }
     }
 
     /// The underlying reach API.
     pub fn api(&self) -> &AdsManagerApi<'w> {
         &self.api
+    }
+
+    /// The pre-flight analyzer.
+    pub fn analyzer(&self) -> &SpecAnalyzer {
+        &self.analyzer
+    }
+
+    /// How many campaigns the static pre-flight rejected without ever
+    /// querying the reach engine.
+    pub fn static_rejections(&self) -> usize {
+        self.static_rejections
     }
 
     /// Launches a campaign and runs its delivery simulation.
@@ -183,6 +215,12 @@ impl<'w, P: PlatformPolicy> CampaignManager<'w, P> {
     ///
     /// Returns the campaign id; a policy rejection stores the campaign in
     /// `Rejected` state and surfaces the violation.
+    ///
+    /// The policy's static pre-flight
+    /// ([`PlatformPolicy::evaluate_static`]) runs first: a provable
+    /// rejection never touches the reach engine, a provable acceptance
+    /// skips the dynamic policy check, and only an inconclusive pre-flight
+    /// falls back to evaluating the true audience.
     pub fn launch<R: Rng + ?Sized>(
         &mut self,
         rng: &mut R,
@@ -190,14 +228,27 @@ impl<'w, P: PlatformPolicy> CampaignManager<'w, P> {
         target_matches: bool,
     ) -> Result<CampaignId, (CampaignId, PolicyViolation)> {
         let id = CampaignId(self.campaigns.len() as u64);
-        let true_reach = self.api.true_reach(&spec.targeting);
-        if let Err(violation) = self.policy.evaluate(&spec, true_reach) {
+        let analysis = self.analyzer.analyze_campaign(&spec);
+        let preflight = self.policy.evaluate_static(&spec, &analysis);
+        if let StaticDecision::Reject(violation) = preflight {
+            self.static_rejections += 1;
             self.campaigns.push(CampaignRecord {
                 spec,
                 state: CampaignState::Rejected(violation.clone()),
                 report: None,
             });
             return Err((id, violation));
+        }
+        let true_reach = self.api.true_reach(&spec.targeting);
+        if preflight != StaticDecision::Accept {
+            if let Err(violation) = self.policy.evaluate(&spec, true_reach) {
+                self.campaigns.push(CampaignRecord {
+                    spec,
+                    state: CampaignState::Rejected(violation.clone()),
+                    report: None,
+                });
+                return Err((id, violation));
+            }
         }
         let audience = MatchedAudience::realize(rng, true_reach, target_matches);
         let report = simulate_delivery(
@@ -269,11 +320,7 @@ mod tests {
     fn spec(interests: Vec<InterestId>) -> CampaignSpec {
         CampaignSpec {
             name: "test".into(),
-            targeting: TargetingSpec::builder()
-                .worldwide()
-                .interests(interests)
-                .build()
-                .unwrap(),
+            targeting: TargetingSpec::builder().worldwide().interests(interests).build().unwrap(),
             creativity: Creativity {
                 title: "User 1 — test".into(),
                 landing_url: "https://fdvt.example/landing/1".into(),
@@ -329,14 +376,59 @@ mod tests {
     fn rejected_campaign_has_no_report() {
         use crate::policy::InterestCapPolicy;
         let api = AdsManagerApi::new(world(), ReportingEra::Post2018);
-        let mut mgr =
-            CampaignManager::new(api, InterestCapPolicy::paper_proposal(), DeliveryModel::default());
+        let mut mgr = CampaignManager::new(
+            api,
+            InterestCapPolicy::paper_proposal(),
+            DeliveryModel::default(),
+        );
         let mut rng = StdRng::seed_from_u64(6);
         let result = mgr.launch(&mut rng, spec((0..12).map(InterestId).collect()), true);
         let (id, violation) = result.unwrap_err();
         assert!(matches!(violation, PolicyViolation::TooManyInterests { .. }));
         assert!(mgr.dashboard(id).is_none());
         assert!(matches!(mgr.state(id), Some(CampaignState::Rejected(_))));
+    }
+
+    #[test]
+    fn preflight_rejects_provably_small_campaign_without_reach_engine() {
+        use crate::policy::MinActiveAudiencePolicy;
+        let api = AdsManagerApi::new(world(), ReportingEra::Post2018);
+        let mut mgr = CampaignManager::new(
+            api,
+            MinActiveAudiencePolicy::paper_proposal(),
+            DeliveryModel::default(),
+        );
+        // An interest id far outside the catalog: the reach engine would
+        // panic on it (`InterestCatalog::interest` indexes unchecked), so a
+        // clean rejection is proof the engine was never consulted.
+        let bogus = InterestId(world().catalog().len() as u32 + 1_000_000);
+        let doomed = CampaignSpec {
+            targeting: TargetingSpec::builder().worldwide().interest(bogus).build().unwrap(),
+            ..spec(vec![])
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let (id, violation) = mgr.launch(&mut rng, doomed, false).unwrap_err();
+        assert!(matches!(violation, PolicyViolation::AudienceTooSmall { active: 0, .. }));
+        assert!(matches!(mgr.state(id), Some(CampaignState::Rejected(_))));
+        assert_eq!(mgr.static_rejections(), 1);
+    }
+
+    #[test]
+    fn preflight_counts_only_static_rejections() {
+        use crate::policy::InterestCapPolicy;
+        let api = AdsManagerApi::new(world(), ReportingEra::Post2018);
+        let mut mgr = CampaignManager::new(
+            api,
+            InterestCapPolicy::paper_proposal(),
+            DeliveryModel::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(12);
+        // Cap violations are fully static.
+        assert!(mgr.launch(&mut rng, spec((0..12).map(InterestId).collect()), false).is_err());
+        assert_eq!(mgr.static_rejections(), 1);
+        // A compliant campaign launches and does not bump the counter.
+        assert!(mgr.launch(&mut rng, spec(vec![InterestId(1)]), false).is_ok());
+        assert_eq!(mgr.static_rejections(), 1);
     }
 
     #[test]

@@ -114,9 +114,8 @@ impl CustomAudience {
     /// plus exactly one active target. Passes FB's current minimum whenever
     /// `padding + 1 >= 100`, yet reaches exactly one person.
     pub fn bypass_list(target_hash: u64, padding: usize) -> Vec<PiiRecord> {
-        let mut records: Vec<PiiRecord> = (0..padding)
-            .map(|i| PiiRecord::unreachable(0x9999_0000 + i as u64))
-            .collect();
+        let mut records: Vec<PiiRecord> =
+            (0..padding).map(|i| PiiRecord::unreachable(0x9999_0000 + i as u64)).collect();
         records.push(PiiRecord::active(target_hash));
         records
     }

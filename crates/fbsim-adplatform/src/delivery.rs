@@ -111,12 +111,13 @@ impl MatchedAudience {
     /// The expected reach of the population model *includes* the probability
     /// mass of target-like users, so the other-user count draws from
     /// `Poisson(max(reach − 1, 0))`.
-    pub fn realize<R: Rng + ?Sized>(rng: &mut R, expected_reach: f64, target_matches: bool) -> Self {
-        let others_mean = if target_matches {
-            (expected_reach - 1.0).max(0.0)
-        } else {
-            expected_reach.max(0.0)
-        };
+    pub fn realize<R: Rng + ?Sized>(
+        rng: &mut R,
+        expected_reach: f64,
+        target_matches: bool,
+    ) -> Self {
+        let others_mean =
+            if target_matches { (expected_reach - 1.0).max(0.0) } else { expected_reach.max(0.0) };
         Self { target_matches, others: poisson(rng, others_mean) }
     }
 
@@ -199,7 +200,8 @@ pub fn simulate_delivery(
     // Per-campaign CPM with jitter.
     let cpm = {
         let raw = model.cpm_coefficient / (matched as f64).powf(model.cpm_exponent);
-        let jitter = 10f64.powf(model.cpm_jitter_sigma * fbsim_stats::dist::standard_normal(&mut rng));
+        let jitter =
+            10f64.powf(model.cpm_jitter_sigma * fbsim_stats::dist::standard_normal(&mut rng));
         (raw * jitter).clamp(model.cpm_min, model.cpm_max)
     };
     let cost_per_impression = cpm / 1_000.0;
@@ -235,9 +237,7 @@ pub fn simulate_delivery(
             if t >= active_hours {
                 break;
             }
-            if (served as f64) < per_user_cap
-                && rng.gen::<f64>() < model.auction_win_rate * fill
-            {
+            if (served as f64) < per_user_cap && rng.gen::<f64>() < model.auction_win_rate * fill {
                 served += 1;
                 if tfi.is_none() {
                     tfi = Some(t);
@@ -272,8 +272,8 @@ pub fn simulate_delivery(
 
     // Clicks: target clicks everything (experiment protocol); background
     // users click at the empirical CTR.
-    let background_clicks = poisson(&mut rng, others_impressions as f64 * model.background_ctr)
-        .min(others_impressions);
+    let background_clicks =
+        poisson(&mut rng, others_impressions as f64 * model.background_ctr).min(others_impressions);
     let clicks = background_clicks + target_impressions;
 
     // Unique IPs among clickers.
@@ -329,10 +329,7 @@ mod tests {
     fn narrow_expansion_occasionally_spills() {
         // With expansion forced on, an audience of one is delivered to many
         // users — the paper's 18-interest / 92-reached row.
-        let model = DeliveryModel {
-            narrow_expansion_rate: 1.0,
-            ..DeliveryModel::default()
-        };
+        let model = DeliveryModel { narrow_expansion_rate: 1.0, ..DeliveryModel::default() };
         let report = simulate_delivery(
             &model,
             MatchedAudience { target_matches: true, others: 0 },
@@ -379,10 +376,7 @@ mod tests {
 
     #[test]
     fn broad_audience_spends_budget_and_reaches_thousands() {
-        let report = run(
-            MatchedAudience { target_matches: true, others: 3_000_000 },
-            7,
-        );
+        let report = run(MatchedAudience { target_matches: true, others: 3_000_000 }, 7);
         assert!(report.impressions > 10_000, "impressions {}", report.impressions);
         assert!(report.reached > 1_000, "reached {}", report.reached);
         assert!(report.reached < 3_000_000);
@@ -425,7 +419,10 @@ mod tests {
         assert!(narrow > 10.0 * broad);
         // Check the fitted law against two Table-2 anchor points.
         assert!((narrow - 17.0).abs() < 6.0, "CPM(150) = {narrow}");
-        assert!((broad.clamp(model.cpm_min, model.cpm_max) - 0.12).abs() < 0.1, "CPM(90k) = {broad}");
+        assert!(
+            (broad.clamp(model.cpm_min, model.cpm_max) - 0.12).abs() < 0.1,
+            "CPM(90k) = {broad}"
+        );
     }
 
     #[test]
@@ -442,9 +439,8 @@ mod tests {
     fn realize_expected_reach_statistics() {
         let mut rng = StdRng::seed_from_u64(4);
         let n = 2_000;
-        let total: u64 = (0..n)
-            .map(|_| MatchedAudience::realize(&mut rng, 101.0, true).others)
-            .sum();
+        let total: u64 =
+            (0..n).map(|_| MatchedAudience::realize(&mut rng, 101.0, true).others).sum();
         let mean = total as f64 / n as f64;
         assert!((mean - 100.0).abs() < 2.0, "mean others {mean}");
     }

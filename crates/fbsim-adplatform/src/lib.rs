@@ -23,6 +23,10 @@
 //! * [`transparency`] — "Why am I seeing this ad?" records.
 //! * [`policy`] — pluggable platform policies: current FB behaviour and the
 //!   paper's §8.3 countermeasure proposals.
+//! * [`analyze`] — static campaign-spec analysis: contradiction findings,
+//!   conservative audience intervals from per-interest marginals, and
+//!   nanotargeting-risk verdicts against the paper's Table-1 thresholds,
+//!   powering the policies' pre-flight path.
 //!
 //! The delivery simulator is deliberately *not* a faithful model of FB's
 //! auction internals (which are unobservable); it is the smallest generative
@@ -33,6 +37,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod campaign;
 pub mod custom_audience;
 pub mod delivery;
@@ -41,8 +46,14 @@ pub mod reach;
 pub mod targeting;
 pub mod transparency;
 
-pub use campaign::{CampaignId, CampaignManager, CampaignSpec, CampaignState, Creativity, Schedule};
+pub use analyze::{
+    AudienceInterval, InterestMarginals, NanotargetingRisk, NpThresholds, SpecAnalysis,
+    SpecAnalyzer, SpecFinding,
+};
+pub use campaign::{
+    CampaignId, CampaignManager, CampaignSpec, CampaignState, Creativity, Schedule,
+};
 pub use delivery::{DeliveryModel, DeliveryReport};
-pub use policy::{PlatformPolicy, PolicyViolation};
+pub use policy::{PlatformPolicy, PolicyViolation, StaticDecision};
 pub use reach::{AdsManagerApi, PotentialReach, ReportingEra};
 pub use targeting::{Gender, TargetingError, TargetingSpec};

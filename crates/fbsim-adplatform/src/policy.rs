@@ -17,6 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::analyze::SpecAnalysis;
 use crate::campaign::CampaignSpec;
 
 /// A policy violation that blocks a campaign at launch.
@@ -41,10 +42,9 @@ pub enum PolicyViolation {
 impl std::fmt::Display for PolicyViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PolicyViolation::TooManyInterests { used, max } => write!(
-                f,
-                "audience uses {used} interests; platform policy allows at most {max}"
-            ),
+            PolicyViolation::TooManyInterests { used, max } => {
+                write!(f, "audience uses {used} interests; platform policy allows at most {max}")
+            }
             PolicyViolation::AudienceTooSmall { active, min } => write!(
                 f,
                 "campaign matches {active} active users; platform policy requires at least {min}"
@@ -54,6 +54,28 @@ impl std::fmt::Display for PolicyViolation {
 }
 
 impl std::error::Error for PolicyViolation {}
+
+/// Outcome of a policy's *static* pre-flight evaluation, computed from a
+/// [`SpecAnalysis`] alone — before the platform spends a reach-engine sweep
+/// on the campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StaticDecision {
+    /// The analysis proves the campaign complies; the dynamic check can be
+    /// skipped.
+    Accept,
+    /// The analysis proves a violation; the reach engine never runs.
+    Reject(PolicyViolation),
+    /// The audience interval brackets the policy threshold — only the true
+    /// audience can decide.
+    Inconclusive,
+}
+
+impl StaticDecision {
+    /// Whether the pre-flight reached a verdict either way.
+    pub fn is_decisive(&self) -> bool {
+        !matches!(self, StaticDecision::Inconclusive)
+    }
+}
 
 /// A platform-side launch gate.
 pub trait PlatformPolicy {
@@ -70,6 +92,20 @@ pub trait PlatformPolicy {
         true_active_audience: f64,
     ) -> Result<(), PolicyViolation>;
 
+    /// Static pre-flight: decide from the spec and its
+    /// [`SpecAnalysis`] alone, without the true audience.
+    ///
+    /// Implementations must be *sound*: whenever they return
+    /// [`StaticDecision::Accept`] or [`StaticDecision::Reject`], the dynamic
+    /// [`evaluate`](PlatformPolicy::evaluate) called with the true audience
+    /// (guaranteed to lie inside `analysis.interval` for engine-measured
+    /// marginals) would reach the same verdict.  The default is always
+    /// inconclusive.
+    fn evaluate_static(&self, spec: &CampaignSpec, analysis: &SpecAnalysis) -> StaticDecision {
+        let _ = (spec, analysis);
+        StaticDecision::Inconclusive
+    }
+
     /// Human-readable policy name for reports.
     fn name(&self) -> &'static str;
 }
@@ -84,6 +120,11 @@ pub struct CurrentFbPolicy;
 impl PlatformPolicy for CurrentFbPolicy {
     fn evaluate(&self, _spec: &CampaignSpec, _audience: f64) -> Result<(), PolicyViolation> {
         Ok(())
+    }
+
+    fn evaluate_static(&self, _spec: &CampaignSpec, _analysis: &SpecAnalysis) -> StaticDecision {
+        // Everything launches, so nothing ever needs the reach engine.
+        StaticDecision::Accept
     }
 
     fn name(&self) -> &'static str {
@@ -113,6 +154,19 @@ impl PlatformPolicy for InterestCapPolicy {
             return Err(PolicyViolation::TooManyInterests { used, max: self.max_interests });
         }
         Ok(())
+    }
+
+    fn evaluate_static(&self, spec: &CampaignSpec, _analysis: &SpecAnalysis) -> StaticDecision {
+        // The cap depends only on the spec itself — always decisive.
+        let used = spec.targeting.interests().len();
+        if used > self.max_interests {
+            StaticDecision::Reject(PolicyViolation::TooManyInterests {
+                used,
+                max: self.max_interests,
+            })
+        } else {
+            StaticDecision::Accept
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -145,6 +199,24 @@ impl PlatformPolicy for MinActiveAudiencePolicy {
         Ok(())
     }
 
+    fn evaluate_static(&self, _spec: &CampaignSpec, analysis: &SpecAnalysis) -> StaticDecision {
+        // Compare rounded bounds so the verdict matches `evaluate` applied
+        // to any true audience inside the interval: the true audience
+        // rounds to something between `lower.round()` and `upper.round()`.
+        let upper = analysis.interval.upper.round().max(0.0) as u64;
+        let lower = analysis.interval.lower.round().max(0.0) as u64;
+        if upper < self.min_active {
+            StaticDecision::Reject(PolicyViolation::AudienceTooSmall {
+                active: upper,
+                min: self.min_active,
+            })
+        } else if lower >= self.min_active {
+            StaticDecision::Accept
+        } else {
+            StaticDecision::Inconclusive
+        }
+    }
+
     fn name(&self) -> &'static str {
         "min-active-audience"
     }
@@ -173,6 +245,22 @@ impl PlatformPolicy for CombinedPolicy {
     fn evaluate(&self, spec: &CampaignSpec, audience: f64) -> Result<(), PolicyViolation> {
         self.cap.evaluate(spec, audience)?;
         self.min_audience.evaluate(spec, audience)
+    }
+
+    fn evaluate_static(&self, spec: &CampaignSpec, analysis: &SpecAnalysis) -> StaticDecision {
+        // Mirror `evaluate`'s short-circuit order: a proven cap violation
+        // rejects outright; otherwise the audience component decides, and
+        // the whole verdict is only an accept when both components accept.
+        match self.cap.evaluate_static(spec, analysis) {
+            StaticDecision::Reject(v) => StaticDecision::Reject(v),
+            StaticDecision::Accept => self.min_audience.evaluate_static(spec, analysis),
+            StaticDecision::Inconclusive => {
+                match self.min_audience.evaluate_static(spec, analysis) {
+                    StaticDecision::Reject(v) => StaticDecision::Reject(v),
+                    _ => StaticDecision::Inconclusive,
+                }
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -238,6 +326,80 @@ mod tests {
             PolicyViolation::AudienceTooSmall { .. }
         ));
         assert!(p.evaluate(&spec_with_interests(3), 1e6).is_ok());
+    }
+
+    fn analysis(lower: f64, upper: f64) -> SpecAnalysis {
+        use crate::analyze::{AudienceInterval, NanotargetingRisk, NpThresholds};
+        SpecAnalysis {
+            findings: Vec::new(),
+            interval: AudienceInterval { lower, upper },
+            risk: NanotargetingRisk::assess(0, upper, &NpThresholds::paper()),
+        }
+    }
+
+    #[test]
+    fn interest_cap_preflight_is_always_decisive() {
+        let p = InterestCapPolicy::paper_proposal();
+        let a = analysis(0.0, 1e9);
+        assert_eq!(p.evaluate_static(&spec_with_interests(8), &a), StaticDecision::Accept);
+        assert_eq!(
+            p.evaluate_static(&spec_with_interests(9), &a),
+            StaticDecision::Reject(PolicyViolation::TooManyInterests { used: 9, max: 8 })
+        );
+    }
+
+    #[test]
+    fn min_audience_preflight_uses_the_interval() {
+        let p = MinActiveAudiencePolicy::paper_proposal();
+        let spec = spec_with_interests(2);
+        assert_eq!(
+            p.evaluate_static(&spec, &analysis(0.0, 500.0)),
+            StaticDecision::Reject(PolicyViolation::AudienceTooSmall { active: 500, min: 1_000 })
+        );
+        assert_eq!(p.evaluate_static(&spec, &analysis(2_000.0, 1e6)), StaticDecision::Accept);
+        assert_eq!(
+            p.evaluate_static(&spec, &analysis(500.0, 2_000.0)),
+            StaticDecision::Inconclusive
+        );
+        // Rounding agrees with the dynamic check at the boundary.
+        assert_eq!(p.evaluate_static(&spec, &analysis(999.5, 1e6)), StaticDecision::Accept);
+    }
+
+    #[test]
+    fn combined_preflight_composes_soundly() {
+        let p = CombinedPolicy::paper_proposal();
+        assert!(matches!(
+            p.evaluate_static(&spec_with_interests(20), &analysis(0.0, 1e9)),
+            StaticDecision::Reject(PolicyViolation::TooManyInterests { .. })
+        ));
+        assert!(matches!(
+            p.evaluate_static(&spec_with_interests(3), &analysis(0.0, 50.0)),
+            StaticDecision::Reject(PolicyViolation::AudienceTooSmall { .. })
+        ));
+        assert_eq!(
+            p.evaluate_static(&spec_with_interests(3), &analysis(1e5, 1e6)),
+            StaticDecision::Accept
+        );
+        assert_eq!(
+            p.evaluate_static(&spec_with_interests(3), &analysis(10.0, 1e6)),
+            StaticDecision::Inconclusive
+        );
+    }
+
+    #[test]
+    fn default_preflight_is_inconclusive() {
+        struct Opaque;
+        impl PlatformPolicy for Opaque {
+            fn evaluate(&self, _: &CampaignSpec, _: f64) -> Result<(), PolicyViolation> {
+                Ok(())
+            }
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+        }
+        let d = Opaque.evaluate_static(&spec_with_interests(1), &analysis(0.0, 1.0));
+        assert_eq!(d, StaticDecision::Inconclusive);
+        assert!(!d.is_decisive());
     }
 
     #[test]

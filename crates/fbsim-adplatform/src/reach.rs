@@ -54,7 +54,7 @@ pub struct PotentialReach {
 /// carry gender on latent panel users, so the endpoint applies FB-wide
 /// population shares under an independence assumption (documented
 /// substitution — the paper's own campaigns never refined by gender).
-fn gender_fraction(gender: Option<Gender>) -> f64 {
+pub(crate) fn gender_fraction(gender: Option<Gender>) -> f64 {
     match gender {
         None => 1.0,
         Some(Gender::Male) => 0.56,
@@ -64,7 +64,7 @@ fn gender_fraction(gender: Option<Gender>) -> f64 {
 
 /// Fraction of users matching an age-range refinement, from a coarse FB-wide
 /// age pyramid over the 13–65 span (independence assumption, as for gender).
-fn age_fraction(range: Option<(u8, u8)>) -> f64 {
+pub(crate) fn age_fraction(range: Option<(u8, u8)>) -> f64 {
     let Some((lo, hi)) = range else { return 1.0 };
     // Piecewise-uniform shares per band: 13-19 : 11%, 20-39 : 54%,
     // 40-64 : 30%, 65 : 5% (matching the adult-skewed FB pyramid).
@@ -139,8 +139,8 @@ impl<'w> AdsManagerApi<'w> {
     ) -> Vec<PotentialReach> {
         let filter = CountryFilter::of(&spec_locations.location_indices());
         let engine = self.world.reach_engine();
-        let demographic = gender_fraction(spec_locations.gender())
-            * age_fraction(spec_locations.age_range());
+        let demographic =
+            gender_fraction(spec_locations.gender()) * age_fraction(spec_locations.age_range());
         engine
             .nested_reaches_in(interests, filter)
             .into_iter()

@@ -39,9 +39,16 @@ pub enum TargetingError {
     TooManyInterests(usize),
     /// The same interest listed twice.
     DuplicateInterest(InterestId),
-    /// Age range where the minimum exceeds the maximum or falls outside
-    /// FB's 13–65 bounds.
+    /// Age range falling outside FB's 13–65 bounds.
     InvalidAgeRange(u8, u8),
+    /// Age range whose minimum exceeds its maximum — the window admits no
+    /// age at all, so the spec is contradictory (mirrors
+    /// [`SpecFinding::EmptyAgeWindow`](crate::analyze::SpecFinding)).
+    EmptyAgeWindow(u8, u8),
+    /// An interest id outside the catalog — no user can carry it (only
+    /// checked by [`TargetingBuilder::build_checked`], which mirrors
+    /// [`SpecFinding::UnknownInterest`](crate::analyze::SpecFinding)).
+    UnknownInterest(InterestId),
 }
 
 impl std::fmt::Display for TargetingError {
@@ -64,7 +71,13 @@ impl std::fmt::Display for TargetingError {
                 write!(f, "interest {} listed twice", i.0)
             }
             TargetingError::InvalidAgeRange(lo, hi) => {
-                write!(f, "invalid age range {lo}-{hi} (must be 13-65, lo <= hi)")
+                write!(f, "invalid age range {lo}-{hi} (must lie within 13-65)")
+            }
+            TargetingError::EmptyAgeWindow(lo, hi) => {
+                write!(f, "age window {lo}-{hi} admits no age (minimum exceeds maximum)")
+            }
+            TargetingError::UnknownInterest(i) => {
+                write!(f, "interest {} is not in the catalog", i.0)
             }
         }
     }
@@ -99,6 +112,7 @@ impl TargetingSpec {
     pub fn location_indices(&self) -> Vec<u16> {
         self.locations
             .iter()
+            // lint:allow(no-unwrap) — invariant: build() only stores codes that passed country_index
             .map(|&c| country_index(c).expect("validated at build time") as u16)
             .collect()
     }
@@ -144,10 +158,7 @@ impl TargetingBuilder {
     /// Targets the whole 50-country universe — the closest 2017-era
     /// equivalent of the "worldwide" option the paper used in 2020.
     pub fn worldwide(mut self) -> Self {
-        self.locations = fbsim_population::TARGETING_UNIVERSE
-            .iter()
-            .map(|c| c.code)
-            .collect();
+        self.locations = fbsim_population::TARGETING_UNIVERSE.iter().map(|c| c.code).collect();
         self
     }
 
@@ -204,7 +215,10 @@ impl TargetingBuilder {
             }
         }
         if let Some((lo, hi)) = self.age_range {
-            if lo < 13 || hi > 65 || lo > hi {
+            if lo > hi {
+                return Err(TargetingError::EmptyAgeWindow(lo, hi));
+            }
+            if lo < 13 || hi > 65 {
                 return Err(TargetingError::InvalidAgeRange(lo, hi));
             }
         }
@@ -214,6 +228,49 @@ impl TargetingBuilder {
             gender: self.gender,
             age_range: self.age_range,
         })
+    }
+
+    /// Validates and builds the spec, additionally checking every interest
+    /// against a catalog — the hardened path the static analyzer's
+    /// [`UnknownInterest`](crate::analyze::SpecFinding::UnknownInterest)
+    /// contradiction finding corresponds to.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated rule as a [`TargetingError`].
+    pub fn build_checked(
+        self,
+        catalog: &fbsim_population::InterestCatalog,
+    ) -> Result<TargetingSpec, TargetingError> {
+        if let Some(&unknown) = self.interests.iter().find(|id| catalog.get(**id).is_none()) {
+            return Err(TargetingError::UnknownInterest(unknown));
+        }
+        self.build()
+    }
+
+    /// Locations staged so far (unvalidated).
+    pub fn staged_locations(&self) -> &[CountryCode] {
+        &self.locations
+    }
+
+    /// Interests staged so far (unvalidated).
+    pub fn staged_interests(&self) -> &[InterestId] {
+        &self.interests
+    }
+
+    /// Gender refinement staged so far.
+    pub fn staged_gender(&self) -> Option<Gender> {
+        self.gender
+    }
+
+    /// Age-range refinement staged so far (unvalidated).
+    pub fn staged_age_range(&self) -> Option<(u8, u8)> {
+        self.age_range
+    }
+
+    /// Whether the staged location list is the whole targeting universe.
+    pub fn is_worldwide(&self) -> bool {
+        self.locations.len() == MAX_LOCATIONS
     }
 }
 
@@ -235,10 +292,7 @@ mod tests {
 
     #[test]
     fn missing_location_rejected() {
-        let err = TargetingSpec::builder()
-            .interest(InterestId(1))
-            .build()
-            .unwrap_err();
+        let err = TargetingSpec::builder().interest(InterestId(1)).build().unwrap_err();
         assert_eq!(err, TargetingError::MissingLocation);
     }
 
@@ -252,10 +306,7 @@ mod tests {
 
     #[test]
     fn twenty_six_interests_rejected() {
-        let spec = TargetingSpec::builder()
-            .worldwide()
-            .interests((0..26).map(InterestId))
-            .build();
+        let spec = TargetingSpec::builder().worldwide().interests((0..26).map(InterestId)).build();
         assert_eq!(spec.unwrap_err(), TargetingError::TooManyInterests(26));
     }
 
@@ -282,20 +333,13 @@ mod tests {
 
     #[test]
     fn duplicate_location_rejected() {
-        let err = TargetingSpec::builder()
-            .location(es())
-            .location(es())
-            .build()
-            .unwrap_err();
+        let err = TargetingSpec::builder().location(es()).location(es()).build().unwrap_err();
         assert_eq!(err, TargetingError::DuplicateLocation(es()));
     }
 
     #[test]
     fn unknown_location_rejected() {
-        let err = TargetingSpec::builder()
-            .location(CountryCode::new("ZZ"))
-            .build()
-            .unwrap_err();
+        let err = TargetingSpec::builder().location(CountryCode::new("ZZ")).build().unwrap_err();
         assert_eq!(err, TargetingError::UnknownLocation(CountryCode::new("ZZ")));
     }
 
@@ -308,7 +352,7 @@ mod tests {
         );
         assert_eq!(
             TargetingSpec::builder().location(es()).age_range(40, 20).build().unwrap_err(),
-            TargetingError::InvalidAgeRange(40, 20)
+            TargetingError::EmptyAgeWindow(40, 20)
         );
         assert_eq!(
             TargetingSpec::builder().location(es()).age_range(20, 90).build().unwrap_err(),
@@ -317,12 +361,43 @@ mod tests {
     }
 
     #[test]
-    fn gender_refinement_carried() {
-        let spec = TargetingSpec::builder()
+    fn build_checked_rejects_unknown_interest() {
+        let catalog = fbsim_population::InterestCatalog::generate(
+            &fbsim_population::WorldConfig::test_scale(2),
+        );
+        let bogus = InterestId(catalog.len() as u32 + 5);
+        let err = TargetingSpec::builder()
             .location(es())
-            .gender(Gender::Female)
-            .build()
-            .unwrap();
+            .interest(InterestId(0))
+            .interest(bogus)
+            .build_checked(&catalog)
+            .unwrap_err();
+        assert_eq!(err, TargetingError::UnknownInterest(bogus));
+        assert!(TargetingSpec::builder()
+            .location(es())
+            .interest(InterestId(0))
+            .build_checked(&catalog)
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_exposes_staged_state() {
+        let builder = TargetingSpec::builder()
+            .location(es())
+            .interest(InterestId(3))
+            .gender(Gender::Male)
+            .age_range(40, 20);
+        assert_eq!(builder.staged_locations(), &[es()]);
+        assert_eq!(builder.staged_interests(), &[InterestId(3)]);
+        assert_eq!(builder.staged_gender(), Some(Gender::Male));
+        assert_eq!(builder.staged_age_range(), Some((40, 20)));
+        assert!(!builder.is_worldwide());
+        assert!(TargetingSpec::builder().worldwide().is_worldwide());
+    }
+
+    #[test]
+    fn gender_refinement_carried() {
+        let spec = TargetingSpec::builder().location(es()).gender(Gender::Female).build().unwrap();
         assert_eq!(spec.gender(), Some(Gender::Female));
     }
 

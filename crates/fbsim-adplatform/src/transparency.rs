@@ -27,17 +27,9 @@ pub struct WhyAmISeeingThis {
 impl WhyAmISeeingThis {
     /// Builds the record for a campaign, resolving interest names through
     /// the catalog.
-    pub fn for_campaign(
-        id: CampaignId,
-        spec: &CampaignSpec,
-        catalog: &InterestCatalog,
-    ) -> Self {
-        let interests = spec
-            .targeting
-            .interests()
-            .iter()
-            .map(|&i| catalog.interest(i).name.clone())
-            .collect();
+    pub fn for_campaign(id: CampaignId, spec: &CampaignSpec, catalog: &InterestCatalog) -> Self {
+        let interests =
+            spec.targeting.interests().iter().map(|&i| catalog.interest(i).name.clone()).collect();
         let locations = if spec.targeting.is_worldwide() {
             "Worldwide".to_string()
         } else {
@@ -54,12 +46,8 @@ impl WhyAmISeeingThis {
     /// The paper's validation check: the shown parameters must match the
     /// configured audience exactly.
     pub fn matches_spec(&self, spec: &CampaignSpec, catalog: &InterestCatalog) -> bool {
-        let expected: Vec<String> = spec
-            .targeting
-            .interests()
-            .iter()
-            .map(|&i| catalog.interest(i).name.clone())
-            .collect();
+        let expected: Vec<String> =
+            spec.targeting.interests().iter().map(|&i| catalog.interest(i).name.clone()).collect();
         self.interests == expected
     }
 }
@@ -80,7 +68,10 @@ mod tests {
                 .interests((0..5).map(InterestId))
                 .build()
                 .unwrap(),
-            creativity: Creativity { title: "User 3 — 12 interests".into(), landing_url: "u".into() },
+            creativity: Creativity {
+                title: "User 3 — 12 interests".into(),
+                landing_url: "u".into(),
+            },
             daily_budget_eur: 10.0,
             schedule: Schedule::paper_experiment(),
         };

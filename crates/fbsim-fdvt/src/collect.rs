@@ -63,8 +63,8 @@ pub const ESTIMATE_CPC_EUR: f64 = 0.4;
 
 /// Estimates the revenue a session's ad activity generated for FB.
 pub fn estimate_session_revenue(impressions: u64, clicks: u64) -> RevenueEstimate {
-    let revenue = impressions as f64 * ESTIMATE_CPM_EUR / 1_000.0
-        + clicks as f64 * ESTIMATE_CPC_EUR;
+    let revenue =
+        impressions as f64 * ESTIMATE_CPM_EUR / 1_000.0 + clicks as f64 * ESTIMATE_CPC_EUR;
     RevenueEstimate { impressions, clicks, revenue_eur: (revenue * 100.0).round() / 100.0 }
 }
 

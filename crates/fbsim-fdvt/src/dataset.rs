@@ -242,10 +242,8 @@ impl FdvtDataset {
             size,
             &mut rng,
         );
-        let country_table: Vec<(CountryCode, u32)> = COHORT_COUNTRIES
-            .iter()
-            .map(|&(code, n)| (CountryCode::new(code), n))
-            .collect();
+        let country_table: Vec<(CountryCode, u32)> =
+            COHORT_COUNTRIES.iter().map(|&(code, n)| (CountryCode::new(code), n)).collect();
         let countries = scaled_assignments(&country_table, size, &mut rng);
 
         let materializer = world.materializer();
@@ -303,11 +301,8 @@ impl FdvtDataset {
     /// All distinct interests appearing in the cohort (the paper's "99k
     /// unique interests" at full scale).
     pub fn unique_interests(&self) -> Vec<fbsim_population::InterestId> {
-        let mut ids: Vec<_> = self
-            .users
-            .iter()
-            .flat_map(|u| u.profile.interests.iter().copied())
-            .collect();
+        let mut ids: Vec<_> =
+            self.users.iter().flat_map(|u| u.profile.interests.iter().copied()).collect();
         ids.sort();
         ids.dedup();
         ids
@@ -322,11 +317,7 @@ impl FdvtDataset {
 /// Expands `(value, weight)` marginals into exactly `size` assignments
 /// (largest-remainder rounding), shuffled so joint demographics are
 /// independent — the paper reports marginals only.
-fn scaled_assignments<T: Copy>(
-    marginals: &[(T, u32)],
-    size: usize,
-    rng: &mut StdRng,
-) -> Vec<T> {
+fn scaled_assignments<T: Copy>(marginals: &[(T, u32)], size: usize, rng: &mut StdRng) -> Vec<T> {
     let total: u64 = marginals.iter().map(|&(_, n)| n as u64).sum();
     assert!(total > 0, "marginals must be non-empty");
     let mut counts: Vec<(usize, u64, f64)> = marginals
@@ -340,7 +331,7 @@ fn scaled_assignments<T: Copy>(
     let assigned: u64 = counts.iter().map(|&(_, c, _)| c).sum();
     let mut remainder = size as u64 - assigned;
     // Largest remainders get the leftover slots.
-    counts.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite remainders"));
+    counts.sort_by(|a, b| b.2.total_cmp(&a.2));
     for slot in counts.iter_mut() {
         if remainder == 0 {
             break;

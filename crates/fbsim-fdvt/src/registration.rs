@@ -124,22 +124,16 @@ mod tests {
 
     #[test]
     fn minimal_valid_registration() {
-        let reg = Registration::register(
-            Some(CountryCode::new("ES")),
-            None,
-            None,
-            None,
-            full_consent(),
-        )
-        .unwrap();
+        let reg =
+            Registration::register(Some(CountryCode::new("ES")), None, None, None, full_consent())
+                .unwrap();
         assert_eq!(reg.country.as_str(), "ES");
         assert!(reg.gender.is_none());
     }
 
     #[test]
     fn country_is_compulsory() {
-        let err =
-            Registration::register(None, None, None, None, full_consent()).unwrap_err();
+        let err = Registration::register(None, None, None, None, full_consent()).unwrap_err();
         assert_eq!(err, RegistrationError::MissingCountry);
     }
 
@@ -147,14 +141,12 @@ mod tests {
     fn both_consents_required() {
         let c = ConsentRecord { terms_accepted: false, research_use_accepted: true };
         assert_eq!(
-            Registration::register(Some(CountryCode::new("FR")), None, None, None, c)
-                .unwrap_err(),
+            Registration::register(Some(CountryCode::new("FR")), None, None, None, c).unwrap_err(),
             RegistrationError::TermsNotAccepted
         );
         let c = ConsentRecord { terms_accepted: true, research_use_accepted: false };
         assert_eq!(
-            Registration::register(Some(CountryCode::new("FR")), None, None, None, c)
-                .unwrap_err(),
+            Registration::register(Some(CountryCode::new("FR")), None, None, None, c).unwrap_err(),
             RegistrationError::ResearchConsentMissing
         );
         assert!(!c.is_complete());

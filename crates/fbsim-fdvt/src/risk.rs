@@ -6,6 +6,7 @@
 //! highly risky ones) with a click; deleted interests stop being usable to
 //! target them. Fig. 7 shows the interface this module models.
 
+use fbsim_adplatform::analyze::{NanotargetingRisk, NpThresholds};
 use fbsim_population::{InterestCatalog, InterestId, MaterializedUser};
 use serde::{Deserialize, Serialize};
 
@@ -147,10 +148,7 @@ impl RiskReport {
 
     /// Count of active rows at a given risk level.
     pub fn count_at(&self, risk: RiskLevel) -> usize {
-        self.rows
-            .iter()
-            .filter(|r| r.status == InterestStatus::Active && r.risk == risk)
-            .count()
+        self.rows.iter().filter(|r| r.status == InterestStatus::Active && r.risk == risk).count()
     }
 
     /// "Delete Interest": removes one interest. Returns whether the row
@@ -190,11 +188,36 @@ impl RiskReport {
         removed
     }
 
+    /// The §8 nanotargeting exposure of the *current* (post-removal)
+    /// interest set: the verdict the static analyzer would return for an
+    /// attacker who combines every remaining active interest, with the
+    /// audience upper bound taken from the rarest active interest (the
+    /// conjunction can reach at most that marginal).
+    pub fn nanotargeting_exposure(&self) -> NanotargetingRisk {
+        self.nanotargeting_exposure_with(&NpThresholds::paper())
+    }
+
+    /// [`Self::nanotargeting_exposure`] with custom thresholds.
+    pub fn nanotargeting_exposure_with(&self, thresholds: &NpThresholds) -> NanotargetingRisk {
+        let active: Vec<&RiskRow> =
+            self.rows.iter().filter(|r| r.status == InterestStatus::Active).collect();
+        // Rows are sorted ascending by audience, so the first active row is
+        // the rarest; an empty set has nothing an attacker can combine.
+        let upper = active.first().map_or(f64::INFINITY, |r| r.audience_size);
+        NanotargetingRisk::assess(active.len(), upper, thresholds)
+    }
+
+    /// One-line advisory for the Fig.-7 interface summarising
+    /// [`Self::nanotargeting_exposure`].
+    pub fn exposure_advisory(&self) -> String {
+        let exposure = self.nanotargeting_exposure();
+        let active = self.active_interests().len();
+        format!("Nanotargeting exposure: {} ({} active interests)", exposure.label(), active)
+    }
+
     /// Renders the interface as text (the Fig.-7 table).
     pub fn render(&self, limit: usize) -> String {
-        let mut out = String::from(
-            "Interest name | Risk level | Audience size | Status\n",
-        );
+        let mut out = String::from("Interest name | Risk level | Audience size | Status\n");
         for row in self.rows.iter().take(limit) {
             out.push_str(&format!(
                 "{} | {} | {:.0} | {}\n",
@@ -276,10 +299,7 @@ mod tests {
         assert_eq!(removed, high_before);
         assert_eq!(r.count_at(RiskLevel::High), 0);
         // Other bands untouched.
-        assert_eq!(
-            r.active_interests().len(),
-            r.rows().len() - removed
-        );
+        assert_eq!(r.active_interests().len(), r.rows().len() - removed);
     }
 
     #[test]
@@ -289,6 +309,27 @@ mod tests {
         assert_eq!(r.remove_all(), n);
         assert!(r.active_interests().is_empty());
         assert_eq!(r.remove_all(), 0);
+    }
+
+    #[test]
+    fn exposure_shrinks_as_interests_are_removed() {
+        let mut r = report();
+        let before = r.nanotargeting_exposure();
+        // A freshly materialised user carries tens of interests, several of
+        // them rare: full exposure is the worst verdict.
+        assert!(before.is_actionable(), "{before:?}");
+        r.remove_all();
+        let after = r.nanotargeting_exposure();
+        assert!(matches!(after, NanotargetingRisk::Low { interests: 0 }), "{after:?}");
+        assert!(!after.is_actionable());
+    }
+
+    #[test]
+    fn exposure_advisory_mentions_the_level() {
+        let r = report();
+        let line = r.exposure_advisory();
+        assert!(line.contains("Nanotargeting exposure:"), "{line}");
+        assert!(line.contains(r.nanotargeting_exposure().label()), "{line}");
     }
 
     #[test]

@@ -87,10 +87,7 @@ impl ValueBins {
 
     /// `Σ count · (1 − exp(−s · value))`.
     fn saturated_sum(&self, s: f64) -> f64 {
-        self.bins
-            .iter()
-            .map(|&(v, c)| c * (1.0 - (-(s * v)).exp()))
-            .sum()
+        self.bins.iter().map(|&(v, c)| c * (1.0 - (-(s * v)).exp())).sum()
     }
 }
 
@@ -140,8 +137,7 @@ impl TopicGeometry {
     /// Model audience of an interest with `score` in `topic`.
     fn audience(&self, panel: &Panel, score: f64, topic: TopicId) -> f64 {
         let t = topic.0 as usize;
-        let sum = self.global.saturated_sum(score)
-            + self.fan_affinity[t].saturated_sum(score)
+        let sum = self.global.saturated_sum(score) + self.fan_affinity[t].saturated_sum(score)
             - self.fan_background[t].saturated_sum(score);
         sum * panel.scale()
     }
@@ -151,11 +147,7 @@ impl TopicGeometry {
 /// Taylor background). Used by calibration, Fig.-2 regeneration and tests.
 pub fn measured_single_audiences(catalog: &InterestCatalog, panel: &Panel) -> Vec<f64> {
     let geometry = TopicGeometry::build(panel, catalog.n_topics());
-    catalog
-        .interests()
-        .par_iter()
-        .map(|i| geometry.audience(panel, i.score, i.topic))
-        .collect()
+    catalog.interests().par_iter().map(|i| geometry.audience(panel, i.score, i.topic)).collect()
 }
 
 /// Runs `rounds` of IPF so each interest's model audience approaches its
@@ -169,7 +161,8 @@ pub fn calibrate_scores(
     panel: &mut Panel,
     rounds: u32,
 ) -> CalibrationReport {
-    let mut report = CalibrationReport { rounds, median_rel_error: f64::NAN, p95_rel_error: f64::NAN };
+    let mut report =
+        CalibrationReport { rounds, median_rel_error: f64::NAN, p95_rel_error: f64::NAN };
     for round in 0..rounds.max(1) {
         let current = measured_single_audiences(catalog, panel);
         let is_last = round + 1 == rounds.max(1);
@@ -180,7 +173,7 @@ pub fn calibrate_scores(
                 .zip(&current)
                 .map(|(i, &c)| (c - i.target_audience).abs() / i.target_audience)
                 .collect();
-            errors.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+            errors.sort_by(|a, b| a.total_cmp(b));
             report.median_rel_error = errors[errors.len() / 2];
             report.p95_rel_error = errors[(errors.len() as f64 * 0.95) as usize % errors.len()];
         }
@@ -189,20 +182,17 @@ pub fn calibrate_scores(
             // assignment budget so total realised mass matches total target
             // mass, then rebalance per-interest scores multiplicatively.
             let mass_current: f64 = current.iter().sum();
-            let mass_target: f64 =
-                catalog.interests().iter().map(|i| i.target_audience).sum();
+            let mass_target: f64 = catalog.interests().iter().map(|i| i.target_audience).sum();
             if mass_current > 0.0 {
-                panel.scale_budget_factor(
-                    (mass_target / mass_current).clamp(0.5, 2.0),
-                    catalog,
-                );
+                panel.scale_budget_factor((mass_target / mass_current).clamp(0.5, 2.0), catalog);
             }
             let new_scores: Vec<f64> = catalog
                 .interests()
                 .iter()
                 .zip(&current)
                 .map(|(i, &c)| {
-                    let factor = if c > 0.0 { (i.target_audience / c).clamp(0.1, 10.0) } else { 5.0 };
+                    let factor =
+                        if c > 0.0 { (i.target_audience / c).clamp(0.1, 10.0) } else { 5.0 };
                     i.score * factor
                 })
                 .collect();

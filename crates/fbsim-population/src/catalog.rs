@@ -226,8 +226,7 @@ impl InterestCatalog {
                 if ids.is_empty() {
                     TopicSampler { members: ids, table: None }
                 } else {
-                    let weights: Vec<f64> =
-                        ids.iter().map(|&id| self.interest(id).score).collect();
+                    let weights: Vec<f64> = ids.iter().map(|&id| self.interest(id).score).collect();
                     TopicSampler { table: Some(AliasTable::new(&weights)), members: ids }
                 }
             })
@@ -280,8 +279,10 @@ mod tests {
         }
         let c = InterestCatalog::generate(&WorldConfig::test_scale(10));
         assert!(
-            a.interests().iter().zip(c.interests()).any(|(x, y)| x.target_audience
-                != y.target_audience),
+            a.interests()
+                .iter()
+                .zip(c.interests())
+                .any(|(x, y)| x.target_audience != y.target_audience),
             "different seeds should differ"
         );
     }
@@ -314,9 +315,8 @@ mod tests {
         let c = small_catalog();
         let manual: f64 = c.interests().iter().map(|i| i.score).sum();
         assert!((c.total_score() - manual).abs() / manual < 1e-12);
-        let per_topic: f64 = (0..c.n_topics())
-            .map(|t| c.topic_score_total(TopicId(t as u16)))
-            .sum();
+        let per_topic: f64 =
+            (0..c.n_topics()).map(|t| c.topic_score_total(TopicId(t as u16))).sum();
         assert!((per_topic - manual).abs() / manual < 1e-9);
     }
 

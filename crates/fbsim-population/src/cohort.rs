@@ -43,8 +43,7 @@ impl MaterializedUser {
             catalog
                 .interest(a)
                 .target_audience
-                .partial_cmp(&catalog.interest(b).target_audience)
-                .expect("audiences are finite")
+                .total_cmp(&catalog.interest(b).target_audience)
                 .then(a.cmp(&b))
         });
         sorted
@@ -146,8 +145,7 @@ impl<'a> Materializer<'a> {
         let weights: Vec<f64> = (0..self.catalog.n_topics())
             .map(|t| {
                 let topic = TopicId(t as u16);
-                base * self.catalog.topic_score_total(topic)
-                    + taste.weight(topic) as f64 * total
+                base * self.catalog.topic_score_total(topic) + taste.weight(topic) as f64 * total
             })
             .collect();
         let n = n.min(self.catalog.len());
@@ -171,9 +169,7 @@ impl<'a> Materializer<'a> {
         // most-preferred first, then the rest of the catalog.
         if chosen.len() < n {
             let mut topic_order: Vec<usize> = (0..weights.len()).collect();
-            topic_order.sort_by(|&a, &b| {
-                weights[b].partial_cmp(&weights[a]).expect("weights are finite")
-            });
+            topic_order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]));
             'outer: for t in topic_order {
                 for &id in self.topic_samplers[t].members() {
                     if !seen[id.0 as usize] {
@@ -236,8 +232,7 @@ mod tests {
         // Keep the demanded count well below the taste topics' supply so
         // the share is not forced down by topic exhaustion.
         let user = m.sample_user_with_count(&mut rng, 60);
-        let taste_topics: Vec<u16> =
-            user.taste.entries().iter().map(|&(t, _)| t.0).collect();
+        let taste_topics: Vec<u16> = user.taste.entries().iter().map(|&(t, _)| t.0).collect();
         let in_taste = user
             .interests
             .iter()
@@ -259,8 +254,7 @@ mod tests {
         assert_eq!(sorted.len(), 50);
         for w in sorted.windows(2) {
             assert!(
-                catalog.interest(w[0]).target_audience
-                    <= catalog.interest(w[1]).target_audience
+                catalog.interest(w[0]).target_audience <= catalog.interest(w[1]).target_audience
             );
         }
     }

@@ -217,18 +217,12 @@ mod tests {
                 WorldConfig { topics_per_user_min: 7, topics_per_user_max: 6, ..base.clone() },
                 "topics_per_user",
             ),
-            (
-                WorldConfig { topics_per_user_max: 10_000, ..base.clone() },
-                "n_topics",
-            ),
+            (WorldConfig { topics_per_user_max: 10_000, ..base.clone() }, "n_topics"),
             (WorldConfig { base_affinity: 0.0, ..base.clone() }, "base_affinity"),
             (WorldConfig { base_affinity: f64::NAN, ..base.clone() }, "base_affinity"),
             (WorldConfig { interests_per_user_min: 0.0, ..base.clone() }, "clamp"),
             (WorldConfig { audience_q25: 0.0, ..base.clone() }, "quartiles"),
-            (
-                WorldConfig { audience_q75: 1e12, ..base.clone() },
-                "below the total population",
-            ),
+            (WorldConfig { audience_q75: 1e12, ..base.clone() }, "below the total population"),
             (WorldConfig { panel_size: 0, ..base.clone() }, "panel"),
         ];
         for (cfg, needle) in cases {

@@ -29,6 +29,7 @@ impl CountryCode {
 
     /// The code as a `&str`.
     pub fn as_str(&self) -> &str {
+        // lint:allow(no-unwrap) — invariant: CountryCode bytes are ASCII by construction
         std::str::from_utf8(&self.0).expect("constructed from ASCII")
     }
 }
@@ -128,8 +129,7 @@ pub struct CountryAssigner {
 impl CountryAssigner {
     /// Builds the assigner from the embedded targeting universe.
     pub fn new() -> Self {
-        let weights: Vec<f64> =
-            TARGETING_UNIVERSE.iter().map(|c| c.users_millions).collect();
+        let weights: Vec<f64> = TARGETING_UNIVERSE.iter().map(|c| c.users_millions).collect();
         Self { table: AliasTable::new(&weights) }
     }
 

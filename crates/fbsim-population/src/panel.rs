@@ -276,11 +276,7 @@ mod tests {
     fn taste_topics_raise_carriage_probability() {
         let (_, catalog, panel) = small_world();
         let base = panel.base_affinity();
-        let user = panel
-            .users()
-            .iter()
-            .find(|u| u.taste_len > 0)
-            .expect("all users have taste");
+        let user = panel.users().iter().find(|u| u.taste_len > 0).expect("all users have taste");
         let taste_topic = TopicId(user.taste_topics[0]);
         let other_topic = TopicId(
             (0..catalog.n_topics() as u16)

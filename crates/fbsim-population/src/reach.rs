@@ -283,8 +283,7 @@ mod tests {
         let id = [InterestId(3)];
         let all = engine.conjunction_reach_in(&id, CountryFilter::ALL);
         let us = engine.conjunction_reach_in(&id, CountryFilter::of(&[0]));
-        let rest =
-            engine.conjunction_reach_in(&id, CountryFilter(CountryFilter::ALL.0 & !1));
+        let rest = engine.conjunction_reach_in(&id, CountryFilter(CountryFilter::ALL.0 & !1));
         assert!(us > 0.0);
         assert!(us < all);
         assert!((us + rest - all).abs() / all < 1e-9, "US + rest should equal worldwide");
@@ -294,10 +293,7 @@ mod tests {
     fn empty_filter_gives_zero() {
         let (catalog, panel) = engine_fixture();
         let engine = ReachEngine::new(&catalog, &panel);
-        assert_eq!(
-            engine.conjunction_reach_in(&[InterestId(0)], CountryFilter(0)),
-            0.0
-        );
+        assert_eq!(engine.conjunction_reach_in(&[InterestId(0)], CountryFilter(0)), 0.0);
     }
 
     #[test]
@@ -307,13 +303,8 @@ mod tests {
         // Pick interests from one panel user's plausible taste: all from the
         // same topic so the correlated model keeps a sizeable audience.
         let topic = catalog.interest(InterestId(0)).topic;
-        let same_topic: Vec<InterestId> = catalog
-            .interests()
-            .iter()
-            .filter(|i| i.topic == topic)
-            .take(5)
-            .map(|i| i.id)
-            .collect();
+        let same_topic: Vec<InterestId> =
+            catalog.interests().iter().filter(|i| i.topic == topic).take(5).map(|i| i.id).collect();
         assert!(same_topic.len() >= 4, "need a few interests in one topic");
         let correlated = engine.conjunction_reach(&same_topic);
         let independent = engine.conjunction_reach_independent(&same_topic);

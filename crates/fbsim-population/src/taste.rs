@@ -49,10 +49,7 @@ impl Taste {
         assert!(!entries.is_empty(), "taste must cover at least one topic");
         assert!(entries.len() <= MAX_TASTE_TOPICS, "too many taste topics");
         entries.sort_by_key(|(t, _)| *t);
-        assert!(
-            entries.windows(2).all(|w| w[0].0 != w[1].0),
-            "duplicate topic in taste"
-        );
+        assert!(entries.windows(2).all(|w| w[0].0 != w[1].0), "duplicate topic in taste");
         let sum: f32 = entries
             .iter()
             .map(|&(_, w)| {
@@ -72,10 +69,7 @@ impl Taste {
     /// Weight of `topic` in this taste (0 when outside the taste).
     pub fn weight(&self, topic: TopicId) -> f32 {
         // Tastes hold at most 8 entries: linear scan beats binary search.
-        self.entries
-            .iter()
-            .find(|&&(t, _)| t == topic)
-            .map_or(0.0, |&(_, w)| w)
+        self.entries.iter().find(|&&(t, _)| t == topic).map_or(0.0, |&(_, w)| w)
     }
 
     /// Number of taste topics.
@@ -142,11 +136,7 @@ impl TasteSampler {
             })
             .collect();
         let sum: f32 = raw.iter().sum();
-        let entries = topics
-            .into_iter()
-            .zip(raw)
-            .map(|(t, w)| (TopicId(t), w / sum))
-            .collect();
+        let entries = topics.into_iter().zip(raw).map(|(t, w)| (TopicId(t), w / sum)).collect();
         Taste::new(entries)
     }
 }

@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::calibration::{calibrate_scores, CalibrationReport};
 use crate::catalog::InterestCatalog;
-use crate::cohort::{Materializer, MaterializedUser};
+use crate::cohort::{MaterializedUser, Materializer};
 use crate::config::WorldConfig;
 use crate::panel::Panel;
 use crate::reach::ReachEngine;
@@ -135,7 +135,11 @@ mod tests {
             let interest = world.catalog().interest(crate::catalog::InterestId(id));
             let reach = engine.single_reach(interest.id);
             let rel = (reach - interest.target_audience).abs() / interest.target_audience;
-            assert!(rel < 0.5, "interest {id}: reach {reach} vs target {}", interest.target_audience);
+            assert!(
+                rel < 0.5,
+                "interest {id}: reach {reach} vs target {}",
+                interest.target_audience
+            );
         }
     }
 

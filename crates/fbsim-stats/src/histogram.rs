@@ -30,9 +30,7 @@ impl LogHistogram {
         let decades = (hi / lo).log10();
         let n_bins = (decades * bins_per_decade as f64).ceil() as usize;
         let step = decades / n_bins as f64;
-        let edges: Vec<f64> = (0..=n_bins)
-            .map(|i| lo * 10f64.powf(step * i as f64))
-            .collect();
+        let edges: Vec<f64> = (0..=n_bins).map(|i| lo * 10f64.powf(step * i as f64)).collect();
         Self { lo, hi, counts: vec![0; n_bins], edges, underflow: 0, overflow: 0 }
     }
 
@@ -77,10 +75,7 @@ impl LogHistogram {
 
     /// Iterator of `(bin_lo, bin_hi, count)`.
     pub fn bins(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
-        self.edges
-            .windows(2)
-            .zip(&self.counts)
-            .map(|(w, &c)| (w[0], w[1], c))
+        self.edges.windows(2).zip(&self.counts).map(|(w, &c)| (w[0], w[1], c))
     }
 
     /// Renders a compact ASCII bar chart, one line per non-empty bin.

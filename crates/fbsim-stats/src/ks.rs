@@ -40,7 +40,7 @@ pub fn ks_one_sample<F: Fn(f64) -> f64>(sample: &[f64], cdf: F) -> Result<f64, Q
     let ecdf = Ecdf::new(sample)?;
     let n = ecdf.len() as f64;
     let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected by Ecdf"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let mut d: f64 = 0.0;
     for (i, &x) in sorted.iter().enumerate() {
         let theory = cdf(x).clamp(0.0, 1.0);

@@ -92,11 +92,13 @@ impl LinearFit {
             sxy += dx * dy;
             syy += dy * dy;
         }
+        // lint:allow(float-eq) — exact guard: all-identical x values give exactly zero variance
         if sxx == 0.0 {
             return Err(OlsError::DegenerateX);
         }
         let slope = sxy / sxx;
         let intercept = mean_y - slope * mean_x;
+        // lint:allow(float-eq) — exact guard: constant y gives exactly zero total sum of squares
         let r_squared = if syy == 0.0 {
             1.0
         } else {
@@ -124,6 +126,7 @@ impl LinearFit {
     /// `target = 0` in log10-space: the interest count where the fitted
     /// audience size reaches 1 user.
     pub fn x_at(&self, target: f64) -> Option<f64> {
+        // lint:allow(float-eq) — exact guard: a flat fit has no finite crossing point
         if self.slope == 0.0 {
             return None;
         }
@@ -168,10 +171,7 @@ mod tests {
 
     #[test]
     fn degenerate_x_errors() {
-        assert_eq!(
-            LinearFit::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]),
-            Err(OlsError::DegenerateX)
-        );
+        assert_eq!(LinearFit::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]), Err(OlsError::DegenerateX));
     }
 
     #[test]
@@ -187,10 +187,7 @@ mod tests {
 
     #[test]
     fn non_finite_errors() {
-        assert_eq!(
-            LinearFit::fit(&[1.0, f64::NAN], &[1.0, 2.0]),
-            Err(OlsError::NonFiniteInput)
-        );
+        assert_eq!(LinearFit::fit(&[1.0, f64::NAN], &[1.0, 2.0]), Err(OlsError::NonFiniteInput));
         assert_eq!(
             LinearFit::fit(&[1.0, 2.0], &[1.0, f64::INFINITY]),
             Err(OlsError::NonFiniteInput)

@@ -49,8 +49,10 @@ impl Summary {
             mean,
             std_dev: var.sqrt(),
             min: values[0],
+            // lint:allow(no-unwrap) — 0.25 is a compile-time-constant valid probability
             q25: sorted.quantile(0.25).expect("valid p"),
             median: sorted.median(),
+            // lint:allow(no-unwrap) — 0.75 is a compile-time-constant valid probability
             q75: sorted.quantile(0.75).expect("valid p"),
             max: values[n - 1],
         })

@@ -6,9 +6,10 @@
 //! Also evaluates the custom-audience padding bypass against the
 //! active-audience rule.
 
+use fbsim_adplatform::analyze::SpecAnalyzer;
 use fbsim_adplatform::custom_audience::CustomAudience;
 use fbsim_adplatform::policy::{
-    CombinedPolicy, InterestCapPolicy, MinActiveAudiencePolicy, PlatformPolicy,
+    CombinedPolicy, InterestCapPolicy, MinActiveAudiencePolicy, PlatformPolicy, StaticDecision,
 };
 use fbsim_adplatform::reach::{AdsManagerApi, ReportingEra};
 use fbsim_population::World;
@@ -31,6 +32,9 @@ pub struct PolicyEvaluation {
     pub successes_blocked: usize,
     /// Successful campaigns under the current policy.
     pub successes_total: usize,
+    /// Campaigns the static pre-flight decided (either way) without a
+    /// reach-engine conjunction sweep.
+    pub statically_decided: usize,
 }
 
 impl PolicyEvaluation {
@@ -41,18 +45,40 @@ impl PolicyEvaluation {
 }
 
 /// Replays the experiment's campaigns against a policy.
+///
+/// Each campaign first goes through the policy's static pre-flight over
+/// engine-exact marginals (see
+/// [`SpecAnalyzer::from_engine`]); only
+/// inconclusive campaigns pay for a true-audience conjunction sweep, exactly
+/// as the [`CampaignManager`](fbsim_adplatform::CampaignManager) launch path
+/// does.
 pub fn evaluate_policy<P: PlatformPolicy>(
     world: &World,
     result: &ExperimentResult,
     policy: &P,
 ) -> PolicyEvaluation {
     let api = AdsManagerApi::new(world, ReportingEra::Post2018);
+    let analyzer = SpecAnalyzer::from_engine(&world.reach_engine());
     let mut blocked = 0;
     let mut successes_blocked = 0;
     let mut successes_total = 0;
+    let mut statically_decided = 0;
     for (campaign, row) in result.plan.campaigns.iter().zip(&result.rows) {
-        let true_reach = api.true_reach(&campaign.spec.targeting);
-        let is_blocked = policy.evaluate(&campaign.spec, true_reach).is_err();
+        let analysis = analyzer.analyze_campaign(&campaign.spec);
+        let is_blocked = match policy.evaluate_static(&campaign.spec, &analysis) {
+            StaticDecision::Reject(_) => {
+                statically_decided += 1;
+                true
+            }
+            StaticDecision::Accept => {
+                statically_decided += 1;
+                false
+            }
+            StaticDecision::Inconclusive => {
+                let true_reach = api.true_reach(&campaign.spec.targeting);
+                policy.evaluate(&campaign.spec, true_reach).is_err()
+            }
+        };
         if is_blocked {
             blocked += 1;
         }
@@ -69,6 +95,7 @@ pub fn evaluate_policy<P: PlatformPolicy>(
         total: result.rows.len(),
         successes_blocked,
         successes_total,
+        statically_decided,
     }
 }
 
@@ -101,6 +128,7 @@ pub struct BypassEvaluation {
 /// Evaluates the single-target padding bypass.
 pub fn evaluate_custom_audience_bypass() -> BypassEvaluation {
     let list = CustomAudience::bypass_list(0x7A26E7, 99);
+    // lint:allow(no-unwrap) — invariant: the sweep only builds lists at or above the minimum
     let audience = CustomAudience::create(list, true).expect("list meets the current minimum");
     BypassEvaluation {
         list_size: audience.list_size(),
@@ -143,6 +171,8 @@ mod tests {
         // 5 sizes × 3 users = 15 blocked.
         assert_eq!(eval.blocked, 15);
         assert!(eval.blocks_all_successes());
+        // The cap is a purely static rule: no campaign needs the engine.
+        assert_eq!(eval.statically_decided, eval.total);
     }
 
     #[test]

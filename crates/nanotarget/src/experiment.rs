@@ -100,10 +100,7 @@ pub struct ExperimentResult {
 impl ExperimentResult {
     /// Campaigns that successfully nanotargeted their user.
     pub fn successes(&self) -> Vec<&Table2Row> {
-        self.rows
-            .iter()
-            .filter(|r| r.verdict == NanotargetingVerdict::Success)
-            .collect()
+        self.rows.iter().filter(|r| r.verdict == NanotargetingVerdict::Success).collect()
     }
 
     /// Total experiment cost in euros.
@@ -127,9 +124,7 @@ impl ExperimentResult {
         };
         for user in users {
             out.push_str(&format!("User {}\n", user + 1));
-            out.push_str(
-                "interests | Seen | Reached | Impressions | TFI | Cost | Clicks\n",
-            );
+            out.push_str("interests | Seen | Reached | Impressions | TFI | Cost | Clicks\n");
             for row in self.rows.iter().filter(|r| r.user_index == user) {
                 let star = if row.verdict == NanotargetingVerdict::Success { " *" } else { "" };
                 out.push_str(&format!(
@@ -173,7 +168,9 @@ pub fn run_experiment(
     for campaign in &plan.campaigns {
         let id = manager
             .launch(&mut rng, campaign.spec.clone(), true)
+            // lint:allow(no-unwrap) — invariant: CurrentFbPolicy accepts every spec by definition
             .expect("CurrentFbPolicy never rejects");
+        // lint:allow(no-unwrap) — invariant: the campaign was launched two lines above
         let report = manager.dashboard(id).expect("active campaign has a report").clone();
         simulate_clicks(&mut click_log, campaign, &report, config, &mut rng);
         let snapshot = report
@@ -283,8 +280,7 @@ mod tests {
         for s in &successes {
             assert!(s.interest_count >= 9, "success at {} interests", s.interest_count);
         }
-        let in_success_group =
-            successes.iter().filter(|s| s.interest_count >= 12).count();
+        let in_success_group = successes.iter().filter(|s| s.interest_count >= 12).count();
         assert!(in_success_group * 2 >= successes.len());
     }
 
@@ -361,9 +357,8 @@ mod tests {
     fn deterministic_for_seed() {
         let world = World::generate(WorldConfig::test_scale(13)).unwrap();
         let mut rng = StdRng::seed_from_u64(99);
-        let targets: Vec<MaterializedUser> = (0..3)
-            .map(|_| world.materializer().sample_user_with_count(&mut rng, 120))
-            .collect();
+        let targets: Vec<MaterializedUser> =
+            (0..3).map(|_| world.materializer().sample_user_with_count(&mut rng, 120)).collect();
         let refs: Vec<&MaterializedUser> = targets.iter().collect();
         let a = run_experiment(&world, &refs, &ExperimentConfig::default()).unwrap();
         let b = run_experiment(&world, &refs, &ExperimentConfig::default()).unwrap();

@@ -64,6 +64,7 @@ pub fn infer_age_band<P: PlatformPolicy, R: Rng + ?Sized>(
                 .interests(pinning_interests.iter().copied())
                 .age_range(lo, hi)
                 .build()
+                // lint:allow(no-unwrap) — invariant: probes use at most MAX_INTERESTS interests
                 .expect("probe spec within limits"),
             creativity: Creativity {
                 title: format!("probe {lo}-{hi}"),
@@ -80,6 +81,7 @@ pub fn infer_age_band<P: PlatformPolicy, R: Rng + ?Sized>(
                 probes.push(ProbeOutcome { age_range: (lo, hi), delivered: false, rejected: true });
             }
             Ok(id) => {
+                // lint:allow(no-unwrap) — invariant: the probe campaign was accepted just above
                 let report = manager.dashboard(id).expect("launched probes deliver");
                 probes.push(ProbeOutcome {
                     age_range: (lo, hi),
@@ -91,11 +93,7 @@ pub fn infer_age_band<P: PlatformPolicy, R: Rng + ?Sized>(
     }
     let delivering: Vec<(u8, u8)> =
         probes.iter().filter(|p| p.delivered).map(|p| p.age_range).collect();
-    InferenceResult {
-        inferred: (delivering.len() == 1).then(|| delivering[0]),
-        probes,
-        blocked,
-    }
+    InferenceResult { inferred: (delivering.len() == 1).then(|| delivering[0]), probes, blocked }
 }
 
 /// Picks a pinning interest set for a target: their least popular interests

@@ -62,10 +62,9 @@ pub enum PlanError {
 impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PlanError::TargetTooFewInterests { user_index, interests } => write!(
-                f,
-                "target user {user_index} has only {interests} interests; 22 are needed"
-            ),
+            PlanError::TargetTooFewInterests { user_index, interests } => {
+                write!(f, "target user {user_index} has only {interests} interests; 22 are needed")
+            }
         }
     }
 }
@@ -87,18 +86,18 @@ impl ExperimentPlan {
     ) -> Result<Self, PlanError> {
         let mut campaigns = Vec::with_capacity(targets.len() * EXPERIMENT_SIZES.len());
         for (user_index, user) in targets.iter().enumerate() {
-            let sets = experiment_nested_sets(user, rng).ok_or(
-                PlanError::TargetTooFewInterests {
+            let sets =
+                experiment_nested_sets(user, rng).ok_or(PlanError::TargetTooFewInterests {
                     user_index,
                     interests: user.interests.len(),
-                },
-            )?;
+                })?;
             for &size in &EXPERIMENT_SIZES {
                 let interests = sets[&size].clone();
                 let targeting = TargetingSpec::builder()
                     .worldwide()
                     .interests(interests.iter().copied())
                     .build()
+                    // lint:allow(no-unwrap) — invariant: prefixes of a distinct list stay distinct and capped
                     .expect("nested sets are distinct and within limits");
                 let spec = CampaignSpec {
                     name: format!("FDVT promo — User {} / {} interests", user_index + 1, size),
@@ -146,9 +145,8 @@ mod tests {
     fn plan() -> ExperimentPlan {
         let world = World::generate(WorldConfig::test_scale(51)).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
-        let targets: Vec<MaterializedUser> = (0..3)
-            .map(|_| world.materializer().sample_user_with_count(&mut rng, 100))
-            .collect();
+        let targets: Vec<MaterializedUser> =
+            (0..3).map(|_| world.materializer().sample_user_with_count(&mut rng, 100)).collect();
         let refs: Vec<&MaterializedUser> = targets.iter().collect();
         ExperimentPlan::build(&refs, &mut rng).unwrap()
     }

@@ -127,10 +127,8 @@ impl ReachClient {
     fn read_response(&mut self) -> Result<ReachResponse, ClientError> {
         let mut buf = [0u8; 4096];
         loop {
-            if let Some(frame) = self
-                .codec
-                .next_frame()
-                .map_err(|e| ClientError::Protocol(e.to_string()))?
+            if let Some(frame) =
+                self.codec.next_frame().map_err(|e| ClientError::Protocol(e.to_string()))?
             {
                 return decode(&frame).map_err(|e| ClientError::Protocol(e.to_string()));
             }

@@ -119,6 +119,7 @@ impl FrameCodec {
 
 /// Encodes a serialisable message as one frame (JSON + newline).
 pub fn encode<T: Serialize>(message: &T) -> Vec<u8> {
+    // lint:allow(no-unwrap) — invariant: protocol types contain no non-serialisable values
     let mut line = serde_json::to_vec(message).expect("protocol types serialise");
     line.push(b'\n');
     line

@@ -196,9 +196,9 @@ fn handle_connection(
                 }
             };
             let response = match bucket.try_take() {
-                Err(wait) => ReachResponse::RateLimited {
-                    retry_after_ms: wait.as_millis().max(1) as u64,
-                },
+                Err(wait) => {
+                    ReachResponse::RateLimited { retry_after_ms: wait.as_millis().max(1) as u64 }
+                }
                 Ok(()) => match decode::<ReachRequest>(&frame) {
                     Err(e) => ReachResponse::Error { message: e.to_string() },
                     Ok(request) => {

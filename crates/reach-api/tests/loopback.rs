@@ -51,10 +51,8 @@ fn deep_conjunction_floors_at_twenty() {
 
 #[test]
 fn post2018_era_floors_at_thousand() {
-    let server = start_server(ServerConfig {
-        era: ReportingEra::Post2018,
-        ..ServerConfig::default()
-    });
+    let server =
+        start_server(ServerConfig { era: ReportingEra::Post2018, ..ServerConfig::default() });
     let mut client = ReachClient::connect(server.addr()).unwrap();
     let interests: Vec<u32> = (0..25).map(|i| i * 37).collect();
     let reach = client.potential_reach(&["US"], &interests).unwrap();

@@ -106,9 +106,8 @@ pub fn country_analysis_with_min(
         .into_iter()
         .filter_map(|code| {
             let users = cohort.by_country(code);
-            (users.len() > min_users).then(|| {
-                group_estimate(api, code.as_str(), &users, replicates, seed)
-            })
+            (users.len() > min_users)
+                .then(|| group_estimate(api, code.as_str(), &users, replicates, seed))
         })
         .collect()
 }

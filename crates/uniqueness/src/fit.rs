@@ -105,9 +105,7 @@ mod tests {
 
     /// Builds a synthetic V_AS obeying the model exactly, with a floor.
     fn synthetic(a: f64, b: f64, len: usize, floor: f64) -> Vec<f64> {
-        (1..=len)
-            .map(|n| 10f64.powf(b - a * ((n + 1) as f64).log10()).max(floor))
-            .collect()
+        (1..=len).map(|n| 10f64.powf(b - a * ((n + 1) as f64).log10()).max(floor)).collect()
     }
 
     #[test]

@@ -30,8 +30,8 @@
 
 pub mod demographics;
 pub mod fit;
-pub mod refined;
 pub mod np;
+pub mod refined;
 pub mod selection;
 pub mod vectors;
 

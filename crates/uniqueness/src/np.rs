@@ -62,9 +62,7 @@ pub fn estimate_np(
     let point = fit_np(&vectors.v_as(q), floor).map_err(NpError::Fit)?;
     let ci95 = if replicates > 0 {
         let (ci, _) = bootstrap_ci(vectors.len(), replicates, 0.95, seed, |idx| {
-            fit_np(&vectors.v_as_indices(q, Some(idx)), floor)
-                .ok()
-                .map(|f| f.np)
+            fit_np(&vectors.v_as_indices(q, Some(idx)), floor).ok().map(|f| f.np)
         })
         .map_err(|e| NpError::Bootstrap(e.to_string()))?;
         Some(ci)
@@ -121,10 +119,8 @@ impl NpTable {
         for (label, row) in [("N(LP)_P", &self.lp), ("N(R)_P", &self.random)] {
             out.push_str(&format!("{label:<10} |"));
             for cell in row {
-                let ci = cell
-                    .ci95
-                    .map(|c| format!(" ({:.2},{:.2})", c.lo, c.hi))
-                    .unwrap_or_default();
+                let ci =
+                    cell.ci95.map(|c| format!(" ({:.2},{:.2})", c.lo, c.hi)).unwrap_or_default();
                 out.push_str(&format!(" {:.2}{ci} R2={:.2} |", cell.value, cell.r_squared));
             }
             out.push('\n');
@@ -145,9 +141,7 @@ mod tests {
                 // Per-user multiplicative jitter, deterministic.
                 let jitter = 1.0 + 0.2 * ((u as f64 * 2.399).sin());
                 (1..=25)
-                    .map(|n| {
-                        (10f64.powf(b - a * ((n + 1) as f64).log10()) * jitter).max(20.0)
-                    })
+                    .map(|n| (10f64.powf(b - a * ((n + 1) as f64).log10()) * jitter).max(20.0))
                     .collect()
             })
             .collect();

@@ -90,7 +90,7 @@ fn refined_spec(user: &FdvtUser, refinement: Refinement) -> Option<TargetingSpec
             AgeBand::Undisclosed => builder,
         };
     }
-    Some(builder.build().expect("per-user refinements satisfy the Ads Manager rules"))
+    builder.build().ok()
 }
 
 /// Collects audience vectors where each user's sequence is evaluated inside
@@ -191,20 +191,10 @@ mod tests {
         let (world, cohort) = fixture();
         let api = AdsManagerApi::new(world, ReportingEra::Early2017);
         let users: Vec<&FdvtUser> = cohort.users.iter().take(40).collect();
-        let base = collect_refined_vectors(
-            &api,
-            &users,
-            SelectionStrategy::Random,
-            Refinement::NONE,
-            9,
-        );
-        let full = collect_refined_vectors(
-            &api,
-            &users,
-            SelectionStrategy::Random,
-            Refinement::FULL,
-            9,
-        );
+        let base =
+            collect_refined_vectors(&api, &users, SelectionStrategy::Random, Refinement::NONE, 9);
+        let full =
+            collect_refined_vectors(&api, &users, SelectionStrategy::Random, Refinement::FULL, 9);
         // FULL drops out-of-universe countries, so align by counting only
         // as many rows as FULL has; rows are generated in cohort order for
         // the retained users, so compare medians instead of rows.
@@ -242,20 +232,10 @@ mod tests {
         let (world, cohort) = fixture();
         let api = AdsManagerApi::new(world, ReportingEra::Early2017);
         let users: Vec<&FdvtUser> = cohort.users.iter().collect();
-        let unrefined = collect_refined_vectors(
-            &api,
-            &users,
-            SelectionStrategy::Random,
-            Refinement::NONE,
-            1,
-        );
-        let refined = collect_refined_vectors(
-            &api,
-            &users,
-            SelectionStrategy::Random,
-            Refinement::FULL,
-            1,
-        );
+        let unrefined =
+            collect_refined_vectors(&api, &users, SelectionStrategy::Random, Refinement::NONE, 1);
+        let refined =
+            collect_refined_vectors(&api, &users, SelectionStrategy::Random, Refinement::FULL, 1);
         // The cohort includes Table-4 countries outside the 50-country
         // universe (UY, CH, SV, …): those rows drop under FULL.
         assert!(refined.len() < unrefined.len());

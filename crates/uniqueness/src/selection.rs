@@ -49,11 +49,9 @@ pub fn select_sequence<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<InterestId> {
     match strategy {
-        SelectionStrategy::LeastPopular => user
-            .interests_by_audience(catalog)
-            .into_iter()
-            .take(MAX_SEQUENCE)
-            .collect(),
+        SelectionStrategy::LeastPopular => {
+            user.interests_by_audience(catalog).into_iter().take(MAX_SEQUENCE).collect()
+        }
         SelectionStrategy::Random => {
             let mut ids = user.interests.clone();
             ids.shuffle(rng);
@@ -151,12 +149,8 @@ mod tests {
     fn short_users_give_short_sequences() {
         let user = user_with(7);
         for strategy in [SelectionStrategy::LeastPopular, SelectionStrategy::Random] {
-            let seq = select_sequence(
-                &user,
-                world().catalog(),
-                strategy,
-                &mut StdRng::seed_from_u64(3),
-            );
+            let seq =
+                select_sequence(&user, world().catalog(), strategy, &mut StdRng::seed_from_u64(3));
             assert_eq!(seq.len(), 7);
         }
     }
@@ -165,11 +159,31 @@ mod tests {
     fn random_differs_across_rngs_lp_does_not() {
         let user = user_with(80);
         let catalog = world().catalog();
-        let r1 = select_sequence(&user, catalog, SelectionStrategy::Random, &mut StdRng::seed_from_u64(1));
-        let r2 = select_sequence(&user, catalog, SelectionStrategy::Random, &mut StdRng::seed_from_u64(2));
+        let r1 = select_sequence(
+            &user,
+            catalog,
+            SelectionStrategy::Random,
+            &mut StdRng::seed_from_u64(1),
+        );
+        let r2 = select_sequence(
+            &user,
+            catalog,
+            SelectionStrategy::Random,
+            &mut StdRng::seed_from_u64(2),
+        );
         assert_ne!(r1, r2);
-        let l1 = select_sequence(&user, catalog, SelectionStrategy::LeastPopular, &mut StdRng::seed_from_u64(1));
-        let l2 = select_sequence(&user, catalog, SelectionStrategy::LeastPopular, &mut StdRng::seed_from_u64(2));
+        let l1 = select_sequence(
+            &user,
+            catalog,
+            SelectionStrategy::LeastPopular,
+            &mut StdRng::seed_from_u64(1),
+        );
+        let l2 = select_sequence(
+            &user,
+            catalog,
+            SelectionStrategy::LeastPopular,
+            &mut StdRng::seed_from_u64(2),
+        );
         assert_eq!(l1, l2);
     }
 

@@ -44,6 +44,7 @@ impl AudienceVectors {
         let spec = TargetingSpec::builder()
             .worldwide()
             .build()
+            // lint:allow(no-unwrap) — invariant: the worldwide one-interest spec is always valid
             .expect("worldwide spec is valid");
         let rows = users
             .iter()
@@ -105,19 +106,13 @@ impl AudienceVectors {
         let mut out = Vec::with_capacity(MAX_SEQUENCE);
         for n in 0..MAX_SEQUENCE {
             let column: Vec<f64> = match indices {
-                None => self
-                    .rows
-                    .iter()
-                    .filter_map(|row| row.get(n).copied())
-                    .collect(),
-                Some(idx) => idx
-                    .iter()
-                    .filter_map(|&i| self.rows[i].get(n).copied())
-                    .collect(),
+                None => self.rows.iter().filter_map(|row| row.get(n).copied()).collect(),
+                Some(idx) => idx.iter().filter_map(|&i| self.rows[i].get(n).copied()).collect(),
             };
             if column.is_empty() {
                 break;
             }
+            // lint:allow(no-unwrap) — invariant: columns are non-empty and finite by construction
             out.push(quantile(&column, p).expect("non-empty finite column"));
         }
         out

@@ -6,9 +6,7 @@ use uniqueness::{AudienceVectors, SelectionStrategy};
 
 /// Strictly decreasing synthetic audience vectors from the paper's model.
 fn model_vector(a: f64, b: f64, floor: f64) -> Vec<f64> {
-    (1..=25)
-        .map(|n| 10f64.powf(b - a * ((n + 1) as f64).log10()).max(floor))
-        .collect()
+    (1..=25).map(|n| 10f64.powf(b - a * ((n + 1) as f64).log10()).max(floor)).collect()
 }
 
 proptest! {

@@ -1,0 +1,597 @@
+//! Offline workspace lint engine.
+//!
+//! A deliberately small, dependency-free line-level analyzer (`no syn`, no
+//! proc-macro machinery) that enforces the workspace's reproducibility and
+//! robustness rules:
+//!
+//! * [`Rule::NoUnwrap`] — no `unwrap()` / `expect(` / `panic!(` in
+//!   library-crate non-test code; propagate `Result`s instead.
+//! * [`Rule::NondeterministicRng`] — no `thread_rng()` / `from_entropy()` /
+//!   `rand::random` in simulation crates: every sampled quantity must come
+//!   from a seeded generator or runs are not reproducible.
+//! * [`Rule::FloatEq`] — no `==` / `!=` against float literals; compare
+//!   with an explicit tolerance.
+//! * [`Rule::UnjustifiedAllow`] — no `#[allow(...)]` / `#![allow(...)]`
+//!   without a justification comment on the same or the preceding line.
+//!
+//! Findings can be waived inline with
+//! `// lint:allow(<rule>) — reason` on the offending line or the line
+//! directly above it; the reason is mandatory.  Test modules
+//! (`#[cfg(test)]`), `tests/`, `benches/`, `examples/` and binary targets
+//! (`src/bin/`, `src/main.rs`) are exempt from [`Rule::NoUnwrap`].
+//!
+//! The engine is exposed as a library so the workspace test-suite can gate
+//! on it in-process (see `tests/lint_gate.rs` at the workspace root), and as
+//! a CLI via `cargo run -p xtask -- lint`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The lint rules the engine knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `unwrap()` / `expect(` / `panic!(` in library non-test code.
+    NoUnwrap,
+    /// Nondeterministic RNG construction in simulation crates.
+    NondeterministicRng,
+    /// `==` / `!=` against floating-point values.
+    FloatEq,
+    /// `#[allow(...)]` without a justification comment.
+    UnjustifiedAllow,
+}
+
+impl Rule {
+    /// All rules, in reporting order.
+    pub const ALL: [Rule; 4] =
+        [Rule::NoUnwrap, Rule::NondeterministicRng, Rule::FloatEq, Rule::UnjustifiedAllow];
+
+    /// The rule's waiver / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::NondeterministicRng => "nondeterministic-rng",
+            Rule::FloatEq => "float-eq",
+            Rule::UnjustifiedAllow => "unjustified-allow",
+        }
+    }
+
+    /// Parses a waiver name back to a rule.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a file participates in linting, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// Library (non-test, non-bin) code: [`Rule::NoUnwrap`] applies.
+    pub library: bool,
+    /// Simulation crate: [`Rule::NondeterministicRng`] applies.
+    pub simulation: bool,
+}
+
+impl FileClass {
+    /// Class under which every rule fires — what the unit-test fixtures use.
+    pub const STRICT: Self = Self { library: true, simulation: true };
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated rule.
+    pub rule: Rule,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: [{}] {}", self.line, self.rule, self.excerpt)
+    }
+}
+
+/// A finding attached to the file it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileViolation {
+    /// Path relative to the lint root.
+    pub path: PathBuf,
+    /// The finding.
+    pub violation: Violation,
+}
+
+impl fmt::Display for FileViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.violation.line,
+            self.violation.rule,
+            self.violation.excerpt
+        )
+    }
+}
+
+/// Waivers parsed from one line: `// lint:allow(rule-a, rule-b) — reason`.
+/// Returns `None` when no waiver marker is present, `Some(vec![])` when a
+/// marker exists but is malformed (no closing paren or empty reason) — a
+/// malformed waiver waives nothing.
+fn parse_waivers(line: &str) -> Option<Vec<Rule>> {
+    let marker = line.find("lint:allow(")?;
+    let after = &line[marker + "lint:allow(".len()..];
+    let close = match after.find(')') {
+        Some(c) => c,
+        None => return Some(Vec::new()),
+    };
+    let reason = after[close + 1..].trim_start_matches([' ', '\u{2014}', '-', ':']);
+    if reason.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    Some(after[..close].split(',').filter_map(|name| Rule::from_name(name.trim())).collect())
+}
+
+/// Strips string-literal contents and trailing `//` comments so pattern
+/// matching cannot fire inside either.  The waiver comment (if any) must be
+/// parsed from the raw line *before* calling this.  Char/lifetime quotes and
+/// raw strings are handled well enough for this workspace's code; the
+/// approach is line-local by design.
+fn scannable(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_str = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            // A char literal like '"' or 'a': skip it wholesale so its
+            // payload cannot open a bogus string.  Lifetimes ('a without a
+            // closing quote) pass through unharmed.
+            '\'' => {
+                let mut look = chars.clone();
+                let first = look.next();
+                if first == Some('\\') {
+                    look.next();
+                }
+                if look.peek() == Some(&'\'') {
+                    if first == Some('\\') {
+                        chars.next();
+                    }
+                    chars.next();
+                    chars.next();
+                    out.push_str("' '");
+                } else {
+                    out.push('\'');
+                }
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Whether a scannable line contains `==` or `!=` with a float literal on
+/// either side of it (e.g. `x == 0.0`, `1.5!=y`).
+fn has_float_comparison(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    for i in 0..bytes.len().saturating_sub(1) {
+        let op = match (bytes[i], bytes[i + 1]) {
+            (b'=', b'=') | (b'!', b'=') => true,
+            _ => false,
+        };
+        if !op {
+            continue;
+        }
+        // `<=`, `>=`, `=>`, `===`-like runs: require a non-`=`/`<`/`>`/`!`
+        // on the left and no `=` on the right.
+        if i > 0 && matches!(bytes[i - 1], b'=' | b'<' | b'>' | b'!') {
+            continue;
+        }
+        if bytes.get(i + 2) == Some(&b'=') {
+            continue;
+        }
+        if is_float_literal_end(&code[..i]) || is_float_literal_start(&code[i + 2..]) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether the text ends (modulo spaces) with a float literal like `0.` /
+/// `0.0` / `1e-3` / `1.0f64`.
+fn is_float_literal_end(text: &str) -> bool {
+    let t = text.trim_end();
+    let tail: String = t
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+'))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    // `pair.0` / `xs[1].0` are tuple-field accesses, not literals: a tail
+    // starting with `.` counts only when nothing indexable precedes it.
+    if tail.starts_with('.') {
+        let preceding = t[..t.len() - tail.len()].chars().next_back();
+        if preceding.is_some_and(|c| c == ']' || c == ')' || c.is_alphanumeric() || c == '_') {
+            return false;
+        }
+    }
+    looks_like_float(&tail)
+}
+
+/// Whether the text starts (modulo spaces) with a float literal.
+fn is_float_literal_start(text: &str) -> bool {
+    let t = text.trim_start();
+    let head: String = t
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+'))
+        .collect();
+    looks_like_float(&head)
+}
+
+/// `0.0`, `1.`, `.5`, `1e-3`, `1_000.25f64`, `f64::EPSILON`-free check of a
+/// single token-ish string.
+fn looks_like_float(token: &str) -> bool {
+    let token = token.trim_start_matches(['-', '+']);
+    let numeric = token.trim_end_matches("f64").trim_end_matches("f32");
+    if numeric.is_empty() || !numeric.starts_with(|c: char| c.is_ascii_digit() || c == '.') {
+        return false;
+    }
+    let mut saw_digit = false;
+    let mut saw_dot_or_exp = false;
+    let mut chars = numeric.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '0'..='9' | '_' => saw_digit = true,
+            '.' => {
+                // A method call like `1.max(2)` is not a float literal; a
+                // bare trailing dot (`1. == x`) is.
+                if chars.peek().is_some_and(|n| n.is_ascii_alphabetic()) {
+                    return false;
+                }
+                saw_dot_or_exp = true;
+            }
+            'e' | 'E' => {
+                if chars.peek().is_some_and(|n| n.is_ascii_digit() || *n == '-' || *n == '+') {
+                    saw_dot_or_exp = true;
+                    if chars.peek().is_some_and(|n| *n == '-' || *n == '+') {
+                        chars.next();
+                    }
+                } else {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    saw_digit && saw_dot_or_exp
+}
+
+/// Lints one file's source under a [`FileClass`].
+///
+/// The analysis is line-level: each line is stripped of strings/comments,
+/// checked against the applicable rules, and findings are dropped when a
+/// waiver for that rule appears on the same or the preceding line.
+/// `#[cfg(test)]` regions are tracked by brace depth and exempted entirely.
+pub fn lint_source(source: &str, class: FileClass) -> Vec<Violation> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut violations = Vec::new();
+    // Depth of the `#[cfg(test)]` item's braces; `None` when outside.
+    let mut test_region: Option<i64> = None;
+    let mut pending_test_attr = false;
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let code = scannable(raw);
+        let trimmed = raw.trim();
+
+        // --- test-region tracking -----------------------------------------
+        if test_region.is_none() && code.contains("#[cfg(test)]") {
+            pending_test_attr = true;
+        }
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        let in_test = if let Some(depth) = test_region.as_mut() {
+            *depth += opens - closes;
+            let still_inside = *depth > 0;
+            if !still_inside {
+                test_region = None;
+            }
+            true
+        } else if pending_test_attr && opens > 0 {
+            pending_test_attr = false;
+            let depth = opens - closes;
+            if depth > 0 {
+                test_region = Some(depth);
+            }
+            true
+        } else {
+            false
+        };
+
+        // --- waivers -------------------------------------------------------
+        let mut waived: Vec<Rule> = parse_waivers(raw).unwrap_or_default();
+        if idx > 0 {
+            if let Some(prev) = parse_waivers(lines[idx - 1]) {
+                waived.extend(prev);
+            }
+        }
+
+        let mut push = |rule: Rule, waived: &[Rule]| {
+            if !waived.contains(&rule) {
+                violations.push(Violation {
+                    rule,
+                    line: idx + 1,
+                    excerpt: trimmed.chars().take(120).collect(),
+                });
+            }
+        };
+
+        // --- rules ---------------------------------------------------------
+        if class.library && !in_test {
+            if code.contains(".unwrap()") || code.contains(".expect(") || code.contains("panic!(") {
+                push(Rule::NoUnwrap, &waived);
+            }
+        }
+        if class.simulation && !in_test {
+            if code.contains("thread_rng()")
+                || code.contains("from_entropy()")
+                || code.contains("rand::random")
+            {
+                push(Rule::NondeterministicRng, &waived);
+            }
+        }
+        if !in_test && has_float_comparison(&code) {
+            push(Rule::FloatEq, &waived);
+        }
+        if code.contains("#[allow(") || code.contains("#![allow(") {
+            // Justified when the raw line (or its predecessor) carries any
+            // `//` comment text explaining it.
+            let own_comment = raw.find("//").is_some_and(|c| raw[c + 2..].trim().len() > 2);
+            let prev_comment = idx > 0 && {
+                let p = lines[idx - 1].trim();
+                p.starts_with("//") && p.trim_start_matches('/').trim().len() > 2
+            };
+            if !own_comment && !prev_comment {
+                push(Rule::UnjustifiedAllow, &waived);
+            }
+        }
+    }
+    violations
+}
+
+/// Classifies a workspace-relative path; `None` means the file is out of
+/// scope (vendored, generated, or a non-Rust file).
+pub fn classify(rel: &Path) -> Option<FileClass> {
+    if rel.extension().and_then(|e| e.to_str()) != Some("rs") {
+        return None;
+    }
+    let parts: Vec<&str> = rel.iter().filter_map(|p| p.to_str()).collect();
+    if parts.first() == Some(&"vendor") || parts.first() == Some(&"target") {
+        return None;
+    }
+    // tests/, benches/, examples/ anywhere in the path: not library code,
+    // but float-eq and allow hygiene still apply.
+    let test_like = parts.iter().any(|p| matches!(*p, "tests" | "benches" | "examples"));
+    // Binary targets may talk to a terminal; unwraps there abort one run,
+    // not a simulation library call.
+    let bin_like = parts.contains(&"bin")
+        || rel.file_name().and_then(|f| f.to_str()) == Some("main.rs")
+        || parts.first() == Some(&"scripts");
+    let crate_name = if parts.first() == Some(&"crates") {
+        parts.get(1).copied().unwrap_or("")
+    } else {
+        // Workspace-root src/ belongs to the facade crate.
+        "unique-on-facebook"
+    };
+    let simulation = crate_name.starts_with("fbsim")
+        || matches!(crate_name, "uniqueness" | "nanotarget" | "unique-on-facebook");
+    Some(FileClass { library: !test_like && !bin_like, simulation })
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `vendor/`,
+/// `target/` and hidden directories.
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || name == "vendor" || name == "target" {
+                continue;
+            }
+            collect_rs(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<FileViolation>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples", "benches"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, root, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in files {
+        let Some(class) = classify(&rel) else { continue };
+        let source = fs::read_to_string(root.join(&rel))?;
+        for violation in lint_source(&source, class) {
+            findings.push(FileViolation { path: rel.clone(), violation });
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strict(source: &str) -> Vec<Violation> {
+        lint_source(source, FileClass::STRICT)
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic_in_library_code() {
+        let src = "fn f() {\n    let x = g().unwrap();\n    let y = h().expect(\"nope\");\n    panic!(\"boom\");\n}\n";
+        let v = strict(src);
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|v| v.rule == Rule::NoUnwrap));
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_no_unwrap() {
+        let src = "fn lib() -> u8 { 0 }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        foo().unwrap();\n    }\n}\n";
+        assert!(strict(src).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_module_is_linted_again() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { foo().unwrap(); }\n}\nfn after() { bar().unwrap(); }\n";
+        let v = strict(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn non_library_files_may_unwrap() {
+        let src = "fn main() { run().unwrap(); }\n";
+        let v = lint_source(src, FileClass { library: false, simulation: true });
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn flags_nondeterministic_rng_in_simulation_code() {
+        let src = "fn f() {\n    let mut rng = rand::thread_rng();\n}\n";
+        let v = strict(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NondeterministicRng);
+        let v = lint_source(src, FileClass { library: true, simulation: false });
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn flags_float_equality_but_not_integers_or_ranges() {
+        assert_eq!(strict("fn f(x: f64) -> bool { x == 0.0 }\n").len(), 1);
+        assert_eq!(strict("fn f(x: f64) -> bool { 1.5 != x }\n").len(), 1);
+        assert_eq!(strict("fn f(x: f64) -> bool { x == 1e-3 }\n").len(), 1);
+        assert!(strict("fn f(x: u8) -> bool { x == 3 }\n").is_empty());
+        assert!(strict("fn f(x: f64) -> bool { x <= 0.5 }\n").is_empty());
+        assert!(strict("fn f(x: f64) -> bool { x >= 0.5 }\n").is_empty());
+        assert!(strict("fn f(v: &[u8]) -> bool { v.len() == 2 }\n").is_empty());
+        // Tuple-field accesses are not float literals.
+        assert!(strict("fn f(w: &[(u16, f64)]) -> bool { w[0].0 != w[1].0 }\n").is_empty());
+        assert!(strict("fn f(p: (u8, u8), q: (u8, u8)) -> bool { p.0 == q.0 }\n").is_empty());
+    }
+
+    #[test]
+    fn flags_unjustified_allow_and_accepts_commented_ones() {
+        let bare = "#[allow(dead_code)]\nfn f() {}\n";
+        let v = strict(bare);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnjustifiedAllow);
+        let same_line = "#[allow(dead_code)] // kept for the public API sketch\nfn f() {}\n";
+        assert!(strict(same_line).is_empty());
+        let line_above =
+            "// The variants mirror the paper's table.\n#[allow(dead_code)]\nfn f() {}\n";
+        assert!(strict(line_above).is_empty());
+    }
+
+    #[test]
+    fn waiver_suppresses_only_named_rule() {
+        let src = "fn f() {\n    x().unwrap(); // lint:allow(no-unwrap) — startup invariant, cannot fail\n}\n";
+        assert!(strict(src).is_empty());
+        let wrong_rule = "fn f() {\n    x().unwrap(); // lint:allow(float-eq) — misdirected\n}\n";
+        assert_eq!(strict(wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn waiver_on_preceding_line_applies() {
+        let src = "fn f() {\n    // lint:allow(no-unwrap) — the mutex cannot be poisoned here\n    x().unwrap();\n}\n";
+        assert!(strict(src).is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_is_ignored() {
+        let src = "fn f() {\n    x().unwrap(); // lint:allow(no-unwrap)\n}\n";
+        assert_eq!(strict(src).len(), 1);
+        let dash_only = "fn f() {\n    x().unwrap(); // lint:allow(no-unwrap) —\n}\n";
+        assert_eq!(strict(dash_only).len(), 1);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trigger() {
+        let src = "fn f() -> &'static str {\n    // the old code called panic!(...) here\n    \"call .unwrap() and panic!(now)\"\n}\n";
+        assert!(strict(src).is_empty());
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        let src = "fn f(c: char) -> bool {\n    c == '\"' && g().is_some()\n}\nfn g() -> Option<u8> { x().unwrap() }\n";
+        let v = strict(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn classify_maps_paths() {
+        let lib = classify(Path::new("crates/uniqueness/src/np.rs")).unwrap();
+        assert!(lib.library && lib.simulation);
+        let bin = classify(Path::new("crates/bench/src/bin/fig_np.rs")).unwrap();
+        assert!(!bin.library);
+        let test = classify(Path::new("tests/end_to_end.rs")).unwrap();
+        assert!(!test.library && test.simulation);
+        let xt = classify(Path::new("crates/xtask/src/lib.rs")).unwrap();
+        assert!(xt.library && !xt.simulation);
+        assert!(classify(Path::new("vendor/rand/src/lib.rs")).is_none());
+        assert!(classify(Path::new("README.md")).is_none());
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("no-such-rule"), None);
+    }
+}

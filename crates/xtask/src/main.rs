@@ -1,0 +1,51 @@
+//! Workspace automation CLI: `cargo run -p xtask -- lint [ROOT]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ -> workspace root is two levels up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = args.next().map(PathBuf::from).unwrap_or_else(workspace_root);
+            if !root.is_dir() {
+                eprintln!("lint: root {} is not a directory", root.display());
+                return ExitCode::FAILURE;
+            }
+            match xtask::lint_workspace(&root) {
+                Ok(findings) if findings.is_empty() => {
+                    println!("lint: clean ({})", root.display());
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for finding in &findings {
+                        eprintln!("{finding}");
+                    }
+                    eprintln!(
+                        "lint: {} violation(s); waive with `// lint:allow(<rule>) — reason`",
+                        findings.len()
+                    );
+                    ExitCode::FAILURE
+                }
+                Err(err) => {
+                    eprintln!("lint: cannot walk {}: {err}", root.display());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}` (available: lint)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint [ROOT]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -21,18 +21,14 @@ fn main() {
     let world = Arc::new(World::generate(WorldConfig::test_scale(11)).expect("valid config"));
 
     // The victim: a user whose interests the attacker partially knows.
-    let victim = world
-        .materializer()
-        .sample_cohort(1, 99)
-        .pop()
-        .expect("one victim");
+    let victim = world.materializer().sample_cohort(1, 99).pop().expect("one victim");
     let known: Vec<u32> = victim.interests.iter().take(18).map(|i| i.0).collect();
     println!("attacker knows {} of the victim's {} interests", known.len(), victim.interests.len());
 
     // Step 1 — size the audience over the network, the way the paper's
     // data collection did (floored Potential Reach, rate-limited).
-    let server = ReachServer::start(Arc::clone(&world), ServerConfig::default())
-        .expect("loopback server");
+    let server =
+        ReachServer::start(Arc::clone(&world), ServerConfig::default()).expect("loopback server");
     let mut client = ReachClient::connect(server.addr()).expect("connect");
     for n in [1usize, 6, 12, known.len()] {
         let reach = client.potential_reach(&["US", "ES", "FR", "BR"], &known[..n]).unwrap();

@@ -14,9 +14,8 @@ use unique_on_facebook::population::{MaterializedUser, World, WorldConfig};
 fn main() {
     let world = World::generate(WorldConfig::test_scale(13)).expect("valid config");
     let mut rng = StdRng::seed_from_u64(99);
-    let targets: Vec<MaterializedUser> = (0..3)
-        .map(|_| world.materializer().sample_user_with_count(&mut rng, 120))
-        .collect();
+    let targets: Vec<MaterializedUser> =
+        (0..3).map(|_| world.materializer().sample_user_with_count(&mut rng, 120)).collect();
     let refs: Vec<&MaterializedUser> = targets.iter().collect();
     let result =
         run_experiment(&world, &refs, &ExperimentConfig::default()).expect("targets are rich");

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local verification gate — what CI and ROADMAP.md's tier-1 check run.
+#
+#   scripts/check.sh          # fmt check + lint + release build + tests
+#
+# Each step fails fast; run from anywhere inside the repo.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> xtask lint"
+cargo run -q -p xtask -- lint
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> all checks passed"

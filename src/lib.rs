@@ -7,6 +7,9 @@
 //! Re-exports the workspace crates under short module names. See the README
 //! for the architecture overview and `examples/` for end-to-end usage.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub use fbsim_adplatform as adplatform;
 pub use fbsim_fdvt as fdvt;
 pub use fbsim_population as population;

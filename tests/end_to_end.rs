@@ -58,9 +58,8 @@ fn full_uniqueness_pipeline_produces_paper_shaped_table() {
 #[test]
 fn experiment_and_countermeasures_close_the_loop() {
     let mut rng = StdRng::seed_from_u64(17);
-    let targets: Vec<MaterializedUser> = (0..3)
-        .map(|_| world().materializer().sample_user_with_count(&mut rng, 150))
-        .collect();
+    let targets: Vec<MaterializedUser> =
+        (0..3).map(|_| world().materializer().sample_user_with_count(&mut rng, 150)).collect();
     let refs: Vec<&MaterializedUser> = targets.iter().collect();
     let result = run_experiment(world(), &refs, &ExperimentConfig::default()).unwrap();
     assert_eq!(result.rows.len(), 21);

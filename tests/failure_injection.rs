@@ -10,9 +10,7 @@ use rand::SeedableRng;
 use unique_on_facebook::adplatform::campaign::{
     CampaignManager, CampaignSpec, Creativity, Schedule,
 };
-use unique_on_facebook::adplatform::delivery::{
-    simulate_delivery, DeliveryModel, MatchedAudience,
-};
+use unique_on_facebook::adplatform::delivery::{simulate_delivery, DeliveryModel, MatchedAudience};
 use unique_on_facebook::adplatform::policy::MinActiveAudiencePolicy;
 use unique_on_facebook::adplatform::reach::{AdsManagerApi, ReportingEra};
 use unique_on_facebook::adplatform::targeting::TargetingSpec;
@@ -80,9 +78,7 @@ fn oversized_frame_gets_error_and_disconnect() {
     // must terminate (no hang) and contain the error marker.
     use std::io::Read;
     let mut response = String::new();
-    stream
-        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
-        .unwrap();
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
     let _ = stream.read_to_string(&mut response);
     assert!(response.contains("frame too large"), "got: {response:?}");
 }
@@ -127,13 +123,9 @@ fn malformed_then_valid_requests_on_same_connection() {
     .unwrap();
     let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
     stream.write_all(b"this is not json\n").unwrap();
-    stream
-        .write_all(b"{\"v\":1,\"locations\":[\"US\"],\"interests\":[0]}\n")
-        .unwrap();
+    stream.write_all(b"{\"v\":1,\"locations\":[\"US\"],\"interests\":[0]}\n").unwrap();
     use std::io::Read;
-    stream
-        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
-        .unwrap();
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
     let mut buf = [0u8; 8192];
     let mut collected = String::new();
     while !collected.contains("reach") {

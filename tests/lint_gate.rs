@@ -1,0 +1,34 @@
+//! Gates `cargo test` on the xtask lint engine: the workspace tree must be
+//! lint-clean (zero unwaivered violations), and the engine itself must still
+//! catch a seeded violation — so a silently broken linter cannot pass.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = xtask::lint_workspace(root).expect("workspace tree is readable");
+    assert!(
+        findings.is_empty(),
+        "lint violations (waive with `// lint:allow(<rule>) — reason`):\n{}",
+        findings.iter().map(|f| format!("  {f}\n")).collect::<String>()
+    );
+}
+
+#[test]
+fn lint_catches_a_library_unwrap_fixture() {
+    let fixture =
+        "pub fn load(path: &str) -> String {\n    std::fs::read_to_string(path).unwrap()\n}\n";
+    let findings = xtask::lint_source(fixture, xtask::FileClass::STRICT);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, xtask::Rule::NoUnwrap);
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn lint_cli_classification_matches_workspace_layout() {
+    // Spot-check that the gate lints what we think it lints.
+    let lib = xtask::classify(Path::new("crates/fbsim-adplatform/src/analyze.rs")).unwrap();
+    assert!(lib.library && lib.simulation);
+    assert!(xtask::classify(Path::new("vendor/serde/src/lib.rs")).is_none());
+}

@@ -26,11 +26,7 @@ fn networked_collection_matches_in_process() {
             builder = builder.location(unique_on_facebook::population::CountryCode::new(code));
         }
         let spec = builder
-            .interests(
-                sequence[..n]
-                    .iter()
-                    .map(|&i| unique_on_facebook::population::InterestId(i)),
-            )
+            .interests(sequence[..n].iter().map(|&i| unique_on_facebook::population::InterestId(i)))
             .build()
             .unwrap();
         let direct = api.potential_reach(&spec);

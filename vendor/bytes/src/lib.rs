@@ -1,0 +1,157 @@
+//! Offline vendored stand-in for `bytes`.
+//!
+//! [`BytesMut`] here is a plain growable byte buffer over `Vec<u8>` with the
+//! subset of the real API this workspace's framing codec uses
+//! (`extend_from_slice`, `split_to`, `truncate`, slice access via `Deref`,
+//! and the [`Buf`] cursor trait). `split_to` is O(remaining) instead of the
+//! real crate's O(1) refcounted split — irrelevant at this codebase's frame
+//! sizes.
+
+#![forbid(unsafe_code)]
+
+/// Read cursor over a byte container, mirroring `bytes::Buf`.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Discards the next `cnt` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cnt` exceeds [`Buf::remaining`].
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+/// A growable, splittable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Appends bytes to the end of the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.data.extend_from_slice(extend);
+    }
+
+    /// Removes and returns the first `at` bytes; `self` keeps the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` exceeds the buffer length.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.data.len(), "split_to out of bounds: {at} > {}", self.data.len());
+        let rest = self.data.split_off(at);
+        let front = std::mem::replace(&mut self.data, rest);
+        BytesMut { data: front }
+    }
+
+    /// Shortens the buffer to `len` bytes, dropping the tail.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Removes all bytes.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the buffer into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(value: &[u8]) -> Self {
+        Self { data: value.to_vec() }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.data.len(), "advance past end of buffer");
+        self.data.drain(..cnt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_keeps_remainder() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"hello\nworld");
+        let mut front = buf.split_to(6);
+        front.truncate(5);
+        assert_eq!(&front[..], b"hello");
+        assert_eq!(&buf[..], b"world");
+        assert_eq!(buf.remaining(), 5);
+    }
+
+    #[test]
+    fn advance_consumes_front() {
+        let mut buf = BytesMut::from(&b"abcdef"[..]);
+        buf.advance(2);
+        assert_eq!(buf.chunk(), b"cdef");
+        assert!(buf.has_remaining());
+    }
+
+    #[test]
+    fn deref_gives_slice_ops() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"a\nb");
+        assert_eq!(buf.iter().position(|&b| b == b'\n'), Some(1));
+    }
+}

@@ -1,0 +1,599 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Provides deterministic property-based testing with the subset of the real
+//! crate's surface this workspace uses: the [`proptest!`] macro (both
+//! `pattern in strategy` and `name: Type` parameter forms, plus
+//! `#![proptest_config(...)]`), `prop_assert*` / `prop_assume!`,
+//! [`strategy::Strategy`] implemented for ranges / tuples / a small regex
+//! subset on `&str`, [`arbitrary::any`], and [`collection::vec`].
+//!
+//! Differences from the real crate, deliberate for an offline test gate:
+//! no shrinking (failures report the concrete inputs instead), and the RNG
+//! is seeded from the test's path so runs are reproducible everywhere.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic RNG and test-case plumbing used by the [`proptest!`] macro.
+pub mod test_runner {
+    /// Per-run configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of passing cases required per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered this input; it does not count as a case.
+        Reject(String),
+        /// A `prop_assert*` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A rejection (filtered input).
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+
+        /// A failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+    }
+
+    /// SplitMix64 generator: tiny, uniform, and fully deterministic.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG seeded from the test's fully qualified name, so every test
+        /// gets a distinct but reproducible stream.
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self { state: hash ^ 0x9e37_79b9_7f4a_7c15 }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and implementations for
+/// ranges, tuples, and the regex subset on `&str`.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A way of generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty integer range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                    (*self.start() as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty float range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty float range strategy");
+                    // Occasionally hit the inclusive endpoint exactly so
+                    // boundary behaviour gets exercised.
+                    if rng.below(64) == 0 {
+                        return *self.end();
+                    }
+                    self.start() + (rng.unit_f64() as $t) * (self.end() - self.start())
+                }
+            }
+        )*};
+    }
+
+    impl_float_range!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+
+    /// String literals are regex strategies, as in the real crate. Supported
+    /// subset: literal characters, `[a-z0-9_]`-style classes, and `{n}` /
+    /// `{n,m}` repetition; anything else panics with a clear message.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_regex(self, rng)
+        }
+    }
+
+    fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a char class or a literal character.
+            let alphabet: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed `[` in regex strategy {pattern:?}"));
+                    let class = &chars[i + 1..i + close];
+                    i += close + 1;
+                    expand_class(class, pattern)
+                }
+                '.' | '(' | ')' | '|' | '^' | '$' | '\\' | '*' | '+' | '?' => panic!(
+                    "regex strategy {pattern:?} uses `{}`, outside the vendored subset \
+                     (literals, classes, {{n}}/{{n,m}})",
+                    chars[i]
+                ),
+                literal => {
+                    i += 1;
+                    vec![literal]
+                }
+            };
+            // Optional repetition.
+            let (lo, hi) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed `{{` in regex strategy {pattern:?}"));
+                let spec: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse::<usize>().unwrap_or(0),
+                        hi.trim().parse::<usize>().unwrap_or(0),
+                    ),
+                    None => {
+                        let n = spec
+                            .trim()
+                            .parse::<usize>()
+                            .unwrap_or_else(|_| panic!("bad repetition in {pattern:?}"));
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = if hi > lo { lo + rng.below((hi - lo + 1) as u64) as usize } else { lo };
+            for _ in 0..count {
+                let idx = rng.below(alphabet.len() as u64) as usize;
+                out.push(alphabet[idx]);
+            }
+        }
+        out
+    }
+
+    fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+        assert!(!class.is_empty(), "empty char class in regex strategy {pattern:?}");
+        let mut alphabet = Vec::new();
+        let mut j = 0;
+        while j < class.len() {
+            if j + 2 < class.len() && class[j + 1] == '-' {
+                let (lo, hi) = (class[j], class[j + 2]);
+                assert!(lo <= hi, "inverted class range in regex strategy {pattern:?}");
+                for c in lo..=hi {
+                    alphabet.push(c);
+                }
+                j += 3;
+            } else {
+                alphabet.push(class[j]);
+                j += 1;
+            }
+        }
+        alphabet
+    }
+}
+
+/// `any::<T>()` and the [`Arbitrary`](arbitrary::Arbitrary) trait.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `T`: the whole domain, uniformly.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, wide-range floats; the real crate also generates
+            // specials, which this workspace's properties don't rely on.
+            (rng.unit_f64() - 0.5) * 2e12
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{fffd}')
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+}
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive length bounds for a generated collection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self { lo: exact, hi_inclusive: exact }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(range: std::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            Self { lo: range.start, hi_inclusive: range.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+            Self { lo: *range.start(), hi_inclusive: *range.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Mirrors the real macro for the forms used in
+/// this workspace: an optional `#![proptest_config(...)]` header and test
+/// functions whose parameters are `pattern in strategy` or `name: Type`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+
+    (@tests $cfg:tt) => {};
+    (@tests $cfg:tt $(#[$meta:meta])* fn $name:ident ($($params:tt)*) $body:block $($rest:tt)*) => {
+        $crate::proptest!(@params $cfg [$(#[$meta])*] $name $body [] ($($params)*));
+        $crate::proptest!(@tests $cfg $($rest)*);
+    };
+
+    (@params $cfg:tt $meta:tt $name:ident $body:tt [$($acc:tt)*] ($p:pat in $s:expr, $($rest:tt)*)) => {
+        $crate::proptest!(@params $cfg $meta $name $body [$($acc)* [$p => [$s]]] ($($rest)*));
+    };
+    (@params $cfg:tt $meta:tt $name:ident $body:tt [$($acc:tt)*] ($p:pat in $s:expr)) => {
+        $crate::proptest!(@params $cfg $meta $name $body [$($acc)* [$p => [$s]]] ());
+    };
+    (@params $cfg:tt $meta:tt $name:ident $body:tt [$($acc:tt)*] ($i:ident : $t:ty, $($rest:tt)*)) => {
+        $crate::proptest!(@params $cfg $meta $name $body
+            [$($acc)* [$i => [$crate::arbitrary::any::<$t>()]]] ($($rest)*));
+    };
+    (@params $cfg:tt $meta:tt $name:ident $body:tt [$($acc:tt)*] ($i:ident : $t:ty)) => {
+        $crate::proptest!(@params $cfg $meta $name $body
+            [$($acc)* [$i => [$crate::arbitrary::any::<$t>()]]] ());
+    };
+
+    (@params ($cfg:expr) [$($meta:tt)*] $name:ident $body:block [$([$p:pat => [$s:expr]])*] ()) => {
+        $($meta)*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __passed < __cfg.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __cfg.cases.saturating_mul(20).max(100),
+                    "proptest {}: too many rejected cases ({} passed of {} wanted)",
+                    stringify!($name),
+                    __passed,
+                    __cfg.cases,
+                );
+                $(let $p = $crate::strategy::Strategy::sample(&($s), &mut __rng);)*
+                let mut __case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                match __case() {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest {} failed after {} cases: {}",
+                            stringify!($name),
+                            __passed,
+                            __msg
+                        );
+                    }
+                }
+            }
+        }
+    };
+
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Skips the current case (without counting it) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let x = Strategy::sample(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&x));
+            let f = Strategy::sample(&(-2.0f64..5.0), &mut rng);
+            assert!((-2.0..5.0).contains(&f));
+            let n = Strategy::sample(&(4usize..=4), &mut rng);
+            assert_eq!(n, 4);
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::test_runner::TestRng::from_name("regex");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[A-Z]{2}", &mut rng);
+            assert_eq!(s.len(), 2);
+            assert!(s.chars().all(|c| c.is_ascii_uppercase()));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = crate::test_runner::TestRng::from_name("vec");
+        for _ in 0..200 {
+            let v = Strategy::sample(&prop::collection::vec(0u8..10, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let exact = Strategy::sample(&prop::collection::vec(any::<u64>(), 6), &mut rng);
+            assert_eq!(exact.len(), 6);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_supports_both_param_forms(xs in prop::collection::vec(0u32..100, 1..8), flag: bool, pair in (0u8..4, 0.0f64..1.0)) {
+            prop_assume!(!xs.is_empty());
+            prop_assert!(xs.iter().all(|&x| x < 100));
+            prop_assert_eq!(xs.len(), xs.len());
+            prop_assert_ne!(xs.len() + 1, 0);
+            let (small, unit) = pair;
+            prop_assert!(small < 4 && (0.0..1.0).contains(&unit));
+            let _ = flag;
+        }
+    }
+}

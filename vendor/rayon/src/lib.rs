@@ -1,0 +1,197 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! Provides the data-parallel iterator API subset this workspace uses —
+//! `par_iter`, `par_chunks`, `into_par_iter`, with `map`/`filter_map`/
+//! `sum`/`collect`/`reduce` — executed **sequentially**. The build
+//! environment has no crates.io access, and none of the workspace's
+//! correctness properties depend on parallel execution; hot paths simply
+//! run single-threaded until a real rayon can be restored.
+//!
+//! The `Send`/`Sync` bounds of the real API are kept so code written
+//! against this shim stays compatible with upstream rayon.
+
+#![forbid(unsafe_code)]
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator exposing
+/// rayon's combinator names (including the two-argument `reduce`).
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each element.
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter { inner: self.inner.map(f) }
+    }
+
+    /// Filters elements.
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter { inner: self.inner.filter(f) }
+    }
+
+    /// Maps and filters in one pass.
+    pub fn filter_map<F, R>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<R>,
+    {
+        ParIter { inner: self.inner.filter_map(f) }
+    }
+
+    /// Flattens mapped iterators.
+    pub fn flat_map<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        F: FnMut(I::Item) -> U,
+        U: IntoIterator,
+    {
+        ParIter { inner: self.inner.flat_map(f) }
+    }
+
+    /// Sums the elements.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.inner.sum()
+    }
+
+    /// Counts the elements.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    /// Collects into any `FromIterator` container.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.inner.collect()
+    }
+
+    /// Runs `f` on each element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.inner.for_each(f)
+    }
+
+    /// Rayon-style reduce: folds from `identity()` with an associative `op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// Maximum element under a comparator.
+    pub fn max_by<F>(self, f: F) -> Option<I::Item>
+    where
+        F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering,
+    {
+        self.inner.max_by(f)
+    }
+
+    /// Rayon's `with_min_len` chunking hint — a no-op here.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Conversion into a "parallel" iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item;
+    /// The wrapped iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+
+    fn into_par_iter(self) -> ParIter<T::IntoIter> {
+        ParIter { inner: self.into_iter() }
+    }
+}
+
+/// Borrowing parallel iteration over slices, mirroring
+/// `rayon::slice::ParallelSlice` and `IntoParallelRefIterator`.
+pub trait ParallelSlice<T> {
+    /// Parallel iterator over elements by reference.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Parallel iterator over fixed-size chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T, S: AsRef<[T]> + ?Sized> ParallelSlice<T> for S {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter { inner: self.as_ref().iter() }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter { inner: self.as_ref().chunks(chunk_size) }
+    }
+}
+
+/// Mutable parallel iteration over slices.
+pub trait ParallelSliceMut<T> {
+    /// Parallel iterator over elements by mutable reference.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// Parallel iterator over fixed-size mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T, S: AsMut<[T]> + ?Sized> ParallelSliceMut<T> for S {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter { inner: self.as_mut().iter_mut() }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter { inner: self.as_mut().chunks_mut(chunk_size) }
+    }
+}
+
+/// The rayon prelude: the traits that put `par_*` methods in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_sum_matches_sequential() {
+        let v: Vec<u64> = (0..100).collect();
+        let par: u64 = v.par_iter().map(|&x| x * 2).sum();
+        let seq: u64 = v.iter().map(|&x| x * 2).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn chunked_reduce_accumulates() {
+        let v: Vec<f64> = (0..10).map(|x| x as f64).collect();
+        let total = v
+            .par_chunks(3)
+            .map(|c| c.iter().sum::<f64>())
+            .reduce(|| 0.0, |a, b| a + b);
+        assert!((total - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_par_iter_filter_map_collect() {
+        let out: Vec<u64> = (0u64..20).into_par_iter().filter_map(|x| (x % 2 == 0).then_some(x)).collect();
+        assert_eq!(out.len(), 10);
+    }
+}

@@ -1,0 +1,587 @@
+//! Derive macros for the offline vendored serde stand-in.
+//!
+//! Parses the item's token tree directly (no `syn`/`quote` — the build
+//! environment has no crates.io access) and generates `Serialize`/
+//! `Deserialize` impls against the value-tree traits in the vendored
+//! `serde`. Supports the shapes this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype and multi-field),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants — externally tagged by
+//!   default, or internally tagged via `#[serde(tag = "…")]`, with
+//!   `#[serde(rename_all = "snake_case")]` variant renaming.
+//!
+//! Generic type parameters are intentionally unsupported (no workspace type
+//! needs them); deriving on a generic type is a compile error pointing
+//! here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+    /// `#[serde(tag = "…")]`: internally tagged enum representation.
+    tag: Option<String>,
+    /// `#[serde(rename_all = "…")]`: only `snake_case` is supported.
+    rename_all: Option<String>,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error token parses"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut tag = None;
+    let mut rename_all = None;
+
+    // Container attributes and visibility, then `struct`/`enum`.
+    let keyword = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(&g.stream(), &mut tag, &mut rename_all);
+                    i += 2;
+                } else {
+                    return Err("malformed attribute".into());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            other => return Err(format!("unexpected token before struct/enum: {other:?}")),
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    let shape = if keyword == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(&g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        }
+    };
+
+    Ok(Item { name, shape, tag, rename_all })
+}
+
+/// Extracts `tag` / `rename_all` from a `serde(...)` attribute body, if the
+/// bracketed attribute is a serde one.
+fn parse_serde_attr(
+    stream: &TokenStream,
+    tag: &mut Option<String>,
+    rename_all: &mut Option<String>,
+) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                if let (
+                    Some(TokenTree::Ident(key)),
+                    Some(TokenTree::Punct(eq)),
+                    Some(TokenTree::Literal(lit)),
+                ) = (inner.get(j), inner.get(j + 1), inner.get(j + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let text = lit.to_string();
+                        let value = text.trim_matches('"').to_string();
+                        match key.to_string().as_str() {
+                            "tag" => *tag = Some(value),
+                            "rename_all" => *rename_all = Some(value),
+                            _ => {}
+                        }
+                        j += 3;
+                        continue;
+                    }
+                }
+                j += 1;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Field names of a `{ ... }` struct body, skipping attributes, visibility,
+/// and types (tracking `<...>` depth so generic commas don't split fields).
+fn parse_named_fields(stream: &TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        // Skip visibility.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(field.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field, got {other:?}")),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct `( ... )` body.
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_content_since_comma = true;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    saw_content_since_comma = false;
+                    fields += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_content_since_comma = true;
+    }
+    if !saw_content_since_comma {
+        fields -= 1; // trailing comma
+    }
+    fields
+}
+
+fn parse_variants(stream: &TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ----------------------------------------------------------------- naming
+
+/// Applies `rename_all` to a variant name (only `snake_case` is supported;
+/// other values are left as an explicit unsupported marker so tests catch
+/// them).
+fn variant_wire_name(item: &Item, variant: &str) -> String {
+    match item.rename_all.as_deref() {
+        Some("snake_case") => to_snake_case(variant),
+        Some(other) => format!("UNSUPPORTED_RENAME_{other}_{variant}"),
+        None => variant.to_string(),
+    }
+}
+
+fn to_snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| gen_serialize_variant(item, name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_variant(item: &Item, name: &str, v: &Variant) -> String {
+    let wire = variant_wire_name(item, &v.name);
+    let vname = &v.name;
+    match (&v.kind, &item.tag) {
+        (VariantKind::Unit, None) => {
+            format!("{name}::{vname} => ::serde::Value::Str(::std::string::String::from({wire:?})),")
+        }
+        (VariantKind::Unit, Some(tag)) => format!(
+            "{name}::{vname} => ::serde::Value::Object(::std::vec![\
+             (::std::string::String::from({tag:?}), \
+              ::serde::Value::Str(::std::string::String::from({wire:?})))]),"
+        ),
+        (VariantKind::Named(fields), None) => {
+            let binds = fields.join(", ");
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from({wire:?}), \
+                  ::serde::Value::Object(::std::vec![{}]))]),",
+                pairs.join(", ")
+            )
+        }
+        (VariantKind::Named(fields), Some(tag)) => {
+            let binds = fields.join(", ");
+            let mut pairs = vec![format!(
+                "(::std::string::String::from({tag:?}), \
+                 ::serde::Value::Str(::std::string::String::from({wire:?})))"
+            )];
+            pairs.extend(fields.iter().map(|f| {
+                format!("(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))")
+            }));
+            format!(
+                "{name}::{vname} {{ {binds} }} => \
+                 ::serde::Value::Object(::std::vec![{}]),",
+                pairs.join(", ")
+            )
+        }
+        (VariantKind::Tuple(1), None) => format!(
+            "{name}::{vname}(__x0) => ::serde::Value::Object(::std::vec![\
+             (::std::string::String::from({wire:?}), ::serde::Serialize::to_value(__x0))]),"
+        ),
+        (VariantKind::Tuple(n), None) => {
+            let binds: Vec<String> = (0..*n).map(|k| format!("__x{k}")).collect();
+            let items: Vec<String> =
+                binds.iter().map(|b| format!("::serde::Serialize::to_value({b})")).collect();
+            format!(
+                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from({wire:?}), \
+                  ::serde::Value::Array(::std::vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        (VariantKind::Tuple(_), Some(_)) => format!(
+            "{name}::{vname}(..) => ::core::panic!(\
+             \"internally tagged enums cannot hold tuple variants\"),"
+        ),
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(__v, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({inits})),\n\
+                     __other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                         \"expected {n}-element array for {name}, got {{__other:?}}\"))),\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => gen_deserialize_enum(item, name, variants),
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_variant_value(name: &str, v: &Variant, source: &str) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!("::std::result::Result::Ok({name}::{vname})"),
+        VariantKind::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field({source}, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name}::{vname} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        VariantKind::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}::{vname}(\
+             ::serde::Deserialize::from_value({source})?))"
+        ),
+        VariantKind::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                .collect();
+            format!(
+                "match {source} {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {n} => \
+                         ::std::result::Result::Ok({name}::{vname}({inits})),\n\
+                     __other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                         \"expected {n}-element array for variant {vname}, got {{__other:?}}\"))),\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize_enum(item: &Item, name: &str, variants: &[Variant]) -> String {
+    if let Some(tag) = &item.tag {
+        // Internally tagged: read the tag field, then the flattened fields.
+        let arms: Vec<String> = variants
+            .iter()
+            .map(|v| {
+                let wire = variant_wire_name(item, &v.name);
+                format!("{wire:?} => {},", deserialize_variant_value(name, v, "__v"))
+            })
+            .collect();
+        return format!(
+            "let __tag = match ::serde::field(__v, {tag:?})? {{\n\
+                 ::serde::Value::Str(__s) => __s.clone(),\n\
+                 __other => return ::std::result::Result::Err(::serde::Error(::std::format!(\
+                     \"expected string tag `{tag}`, got {{__other:?}}\"))),\n\
+             }};\n\
+             match __tag.as_str() {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                     \"unknown {name} tag `{{__other}}`\"))),\n\
+             }}",
+            arms.join("\n")
+        );
+    }
+
+    // Externally tagged (default representation).
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            let wire = variant_wire_name(item, &v.name);
+            format!(
+                "{wire:?} => ::std::result::Result::Ok({name}::{vname}),",
+                vname = v.name
+            )
+        })
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            let wire = variant_wire_name(item, &v.name);
+            format!("{wire:?} => {},", deserialize_variant_value(name, v, "__inner"))
+        })
+        .collect();
+    format!(
+        "match __v {{\n\
+             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {units}\n\
+                 __other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                     \"unknown {name} variant `{{__other}}`\"))),\n\
+             }},\n\
+             ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__key, __inner) = &__pairs[0];\n\
+                 match __key.as_str() {{\n\
+                     {datas}\n\
+                     __other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                         \"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                 \"expected {name} variant, got {{__other:?}}\"))),\n\
+         }}",
+        units = unit_arms.join("\n"),
+        datas = data_arms.join("\n"),
+    )
+}
