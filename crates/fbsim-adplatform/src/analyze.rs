@@ -206,6 +206,15 @@ pub enum SpecFinding {
         /// The cap.
         max: usize,
     },
+    /// An age bound outside the platform's 13–65 limits while the window
+    /// still admits ages — the rule behind
+    /// [`TargetingError::InvalidAgeRange`](crate::targeting::TargetingError::InvalidAgeRange).
+    InvalidAgeRange {
+        /// Requested lower bound.
+        lo: u8,
+        /// Requested upper bound.
+        hi: u8,
+    },
     /// The age range covers the whole 13–65 span — subsumed by the default.
     RedundantAgeRange {
         /// Requested lower bound.
@@ -229,7 +238,8 @@ impl SpecFinding {
             | SpecFinding::DuplicateInterest(_)
             | SpecFinding::DuplicateLocation(_)
             | SpecFinding::TooManyInterests { .. }
-            | SpecFinding::TooManyLocations { .. } => Severity::Violation,
+            | SpecFinding::TooManyLocations { .. }
+            | SpecFinding::InvalidAgeRange { .. } => Severity::Violation,
             SpecFinding::RedundantAgeRange { .. } | SpecFinding::LocationsCoverUniverse => {
                 Severity::Redundancy
             }
@@ -257,6 +267,9 @@ impl std::fmt::Display for SpecFinding {
             }
             SpecFinding::TooManyLocations { used, max } => {
                 write!(f, "{used} locations exceeds the cap of {max}")
+            }
+            SpecFinding::InvalidAgeRange { lo, hi } => {
+                write!(f, "age window {lo}-{hi} reaches outside the 13-65 platform limits")
             }
             SpecFinding::RedundantAgeRange { lo, hi } => {
                 write!(f, "age window {lo}-{hi} covers the full span — redundant")
@@ -326,6 +339,9 @@ pub struct InterestMarginals {
     country_population: Vec<f64>,
     /// Total worldwide population.
     population: f64,
+    /// Whether the marginals are exact with respect to the reach engine
+    /// (engine-measured) or carry the catalog calibration residual.
+    exact: bool,
 }
 
 impl InterestMarginals {
@@ -338,7 +354,7 @@ impl InterestMarginals {
         let country_population: Vec<f64> = (0..TARGETING_UNIVERSE.len())
             .map(|c| engine.conjunction_reach_in(&[], CountryFilter::of(&[c as u16])))
             .collect();
-        Self { marginals, country_population, population: engine.population() }
+        Self { marginals, country_population, population: engine.population(), exact: true }
     }
 
     /// Approximates marginals from the catalog's calibration targets and the
@@ -348,7 +364,14 @@ impl InterestMarginals {
         let total: f64 = TARGETING_UNIVERSE.iter().map(|c| c.users_millions).sum();
         let country_population: Vec<f64> =
             TARGETING_UNIVERSE.iter().map(|c| population * c.users_millions / total).collect();
-        Self { marginals, country_population, population }
+        Self { marginals, country_population, population, exact: false }
+    }
+
+    /// Whether the marginals are exact with respect to the reach engine.
+    /// Interval-based static accept/reject decisions are only sound when
+    /// this holds; catalog-approximated marginals are advisory.
+    pub fn is_exact(&self) -> bool {
+        self.exact
     }
 
     /// The worldwide marginal for one interest, `None` when the id is not in
@@ -384,9 +407,17 @@ impl InterestMarginals {
 pub struct SpecAnalysis {
     /// Structural findings, worst first.
     pub findings: Vec<SpecFinding>,
-    /// Sound bracket on the true active audience (the empty interval for
-    /// contradictory specs).
+    /// Bracket on the true active audience (the empty interval for
+    /// contradictory specs); guaranteed to contain the true audience only
+    /// when [`interval_sound`](SpecAnalysis::interval_sound) holds.
     pub interval: AudienceInterval,
+    /// Whether the interval provably brackets the reach engine's true
+    /// audience: true for engine-measured marginals
+    /// ([`InterestMarginals::from_engine`]) and for structural
+    /// contradictions (whose empty interval holds whatever the marginals),
+    /// false for catalog-approximated marginals.  Policies must treat
+    /// interval-based static decisions as advisory when this is false.
+    pub interval_sound: bool,
     /// Nanotargeting-risk verdict.
     pub risk: NanotargetingRisk,
 }
@@ -485,7 +516,11 @@ impl SpecAnalyzer {
     /// that can surface contradictions and builder-rule violations.
     pub fn analyze_raw(&self, builder: &TargetingBuilder) -> SpecAnalysis {
         let codes = builder.staged_locations();
-        if builder.is_worldwide() {
+        // The worldwide shortcut only applies to a clean universe list:
+        // exactly one entry per universe country.  A covering list that also
+        // carries duplicates still goes through the explicit path so the
+        // duplicate findings surface.
+        if builder.is_worldwide() && codes.len() == TARGETING_UNIVERSE.len() {
             return self.analyze_parts(
                 codes,
                 None,
@@ -525,9 +560,13 @@ impl SpecAnalyzer {
         let worldwide = indices.is_none();
         if !worldwide {
             for (i, &c) in codes.iter().enumerate() {
-                if country_index(c).is_none() {
+                // Unknown and duplicate are independent defects: a repeated
+                // unknown code carries both.  Unknown is reported once per
+                // distinct code, duplicate once per repetition.
+                if country_index(c).is_none() && !codes[..i].contains(&c) {
                     findings.push(SpecFinding::UnknownLocation(c));
-                } else if codes[..i].contains(&c) {
+                }
+                if codes[..i].contains(&c) {
                     findings.push(SpecFinding::DuplicateLocation(c));
                 }
             }
@@ -569,6 +608,8 @@ impl SpecAnalyzer {
             let eff_hi = hi.min(MAX_AGE);
             if eff_lo > eff_hi {
                 findings.push(SpecFinding::EmptyAgeWindow { lo, hi });
+            } else if lo < MIN_AGE || hi > MAX_AGE {
+                findings.push(SpecFinding::InvalidAgeRange { lo, hi });
             } else if lo <= MIN_AGE && hi >= MAX_AGE {
                 findings.push(SpecFinding::RedundantAgeRange { lo, hi });
             }
@@ -579,13 +620,20 @@ impl SpecAnalyzer {
         let contradictory = findings.iter().any(|f| f.severity() == Severity::Contradiction);
         let interval = if contradictory {
             AudienceInterval::EMPTY
+        } else if worldwide {
+            self.interval_for(&unique_interests, None, gender, age_range)
         } else {
-            self.interval_for(&unique_interests, indices, gender, age_range)
+            // Deduplicated indices: a repeated location in a raw builder
+            // must not double-count its population in the bounds.
+            self.interval_for(&unique_interests, Some(&unique_indices), gender, age_range)
         };
+        // A contradiction's empty interval is structural — sound whatever
+        // the marginals; otherwise soundness follows the marginal source.
+        let interval_sound = self.marginals.is_exact() || contradictory;
         let risk =
             NanotargetingRisk::assess(unique_interests.len(), interval.upper, &self.thresholds);
 
-        SpecAnalysis { findings, interval, risk }
+        SpecAnalysis { findings, interval, interval_sound, risk }
     }
 
     /// Sound audience bracket for a deduplicated conjunction of interests
@@ -768,6 +816,104 @@ mod tests {
         let mut sorted = sevs.clone();
         sorted.sort_by_key(|s| std::cmp::Reverse(*s));
         assert_eq!(sevs, sorted);
+    }
+
+    #[test]
+    fn repeated_unknown_location_gets_both_findings() {
+        let world = test_world();
+        let an = analyzer(&world);
+        let zz = CountryCode::new("ZZ");
+        let builder =
+            TargetingSpec::builder().location(zz).location(zz).location(TARGETING_UNIVERSE[0].code);
+        let analysis = an.analyze_raw(&builder);
+        let unknowns =
+            analysis.findings.iter().filter(|f| **f == SpecFinding::UnknownLocation(zz)).count();
+        assert_eq!(unknowns, 1);
+        assert!(analysis.findings.contains(&SpecFinding::DuplicateLocation(zz)));
+        // One known location remains, so the spec is not contradictory.
+        assert!(!analysis.is_contradictory());
+    }
+
+    #[test]
+    fn out_of_bounds_age_window_is_a_violation() {
+        let world = test_world();
+        let an = analyzer(&world);
+        let builder = TargetingSpec::builder().worldwide().age_range(12, 70);
+        let analysis = an.analyze_raw(&builder);
+        assert!(!analysis.is_contradictory());
+        assert!(analysis
+            .findings
+            .iter()
+            .any(|f| matches!(f, SpecFinding::InvalidAgeRange { lo: 12, hi: 70 })));
+        assert_eq!(analysis.worst_severity(), Some(Severity::Violation));
+        // In-bounds full-span windows stay a mere redundancy.
+        let full = an.analyze_raw(&TargetingSpec::builder().worldwide().age_range(13, 65));
+        assert_eq!(full.worst_severity(), Some(Severity::Redundancy));
+    }
+
+    #[test]
+    fn duplicate_locations_do_not_inflate_the_interval() {
+        let world = test_world();
+        let an = analyzer(&world);
+        let us = TARGETING_UNIVERSE[0].code;
+        let raw = TargetingSpec::builder().location(us).location(us).interest(InterestId(1));
+        let deduped =
+            TargetingSpec::builder().location(us).interest(InterestId(1)).build().expect("valid");
+        assert_eq!(an.analyze_raw(&raw).interval, an.analyze(&deduped).interval);
+    }
+
+    #[test]
+    fn fifty_duplicates_are_not_worldwide() {
+        let world = test_world();
+        let an = analyzer(&world);
+        // 50 copies of an unknown code must not classify as worldwide: the
+        // audience is provably empty, not the full population.
+        let zz = CountryCode::new("ZZ");
+        let mut builder = TargetingSpec::builder();
+        for _ in 0..MAX_LOCATIONS {
+            builder = builder.location(zz);
+        }
+        let analysis = an.analyze_raw(&builder);
+        assert!(analysis.is_contradictory());
+        assert_eq!(analysis.interval, AudienceInterval::EMPTY);
+        assert!(analysis.findings.contains(&SpecFinding::UnknownLocation(zz)));
+        assert!(analysis.findings.contains(&SpecFinding::EmptyLocations));
+    }
+
+    #[test]
+    fn universe_cover_with_duplicates_surfaces_findings() {
+        let world = test_world();
+        let an = analyzer(&world);
+        // The whole universe plus one repeat: worldwide by membership, but
+        // the explicit path still reports the duplicate and the subsumption.
+        let mut builder = TargetingSpec::builder().worldwide();
+        builder = builder.location(TARGETING_UNIVERSE[0].code);
+        let analysis = an.analyze_raw(&builder);
+        assert!(analysis
+            .findings
+            .contains(&SpecFinding::DuplicateLocation(TARGETING_UNIVERSE[0].code)));
+        assert!(analysis.findings.contains(&SpecFinding::LocationsCoverUniverse));
+        assert!(!analysis.is_contradictory());
+    }
+
+    #[test]
+    fn catalog_marginals_mark_the_interval_advisory() {
+        let world = test_world();
+        let spec = TargetingSpec::builder()
+            .worldwide()
+            .interest(InterestId(1))
+            .build()
+            .expect("valid spec");
+        let exact = analyzer(&world).analyze(&spec);
+        assert!(exact.interval_sound);
+        let approx = SpecAnalyzer::from_catalog(world.catalog(), world.population() as f64);
+        assert!(!approx.marginals().is_exact());
+        assert!(!approx.analyze(&spec).interval_sound);
+        // A structural contradiction is sound whatever the marginals.
+        let contradictory =
+            approx.analyze_raw(&TargetingSpec::builder().worldwide().age_range(40, 20));
+        assert!(contradictory.interval_sound);
+        assert_eq!(contradictory.interval, AudienceInterval::EMPTY);
     }
 
     #[test]

@@ -172,8 +172,14 @@ impl<'w, P: PlatformPolicy> CampaignManager<'w, P> {
     /// Creates a manager over an Ads Manager API with a platform policy.
     ///
     /// The manager builds a catalog-marginal [`SpecAnalyzer`] for the §8
-    /// pre-flight; use [`CampaignManager::with_analyzer`] to supply
-    /// engine-measured marginals instead.
+    /// pre-flight.  Catalog marginals are approximate, so the analysis is
+    /// marked advisory (`interval_sound == false`): sound policies only
+    /// decide statically on marginal-independent grounds (structural
+    /// contradictions, interest caps) and defer every interval-based
+    /// accept/reject to the dynamic true-audience check.  Use
+    /// [`CampaignManager::with_analyzer`] with
+    /// [`SpecAnalyzer::from_engine`] for exact marginals that make the
+    /// full pre-flight decisive.
     pub fn new(api: AdsManagerApi<'w>, policy: P, model: DeliveryModel) -> Self {
         let world = api.world();
         let analyzer = SpecAnalyzer::from_catalog(world.catalog(), world.population() as f64);
@@ -411,6 +417,26 @@ mod tests {
         assert!(matches!(violation, PolicyViolation::AudienceTooSmall { active: 0, .. }));
         assert!(matches!(mgr.state(id), Some(CampaignState::Rejected(_))));
         assert_eq!(mgr.static_rejections(), 1);
+    }
+
+    #[test]
+    fn catalog_preflight_defers_interval_decisions_to_dynamic_check() {
+        use crate::policy::MinActiveAudiencePolicy;
+        let api = AdsManagerApi::new(world(), ReportingEra::Post2018);
+        // A minimum no audience can meet: the catalog-marginal interval
+        // alone would "prove" a rejection, but those marginals are
+        // advisory, so the verdict must come from the dynamic true-reach
+        // path instead of the static pre-flight.
+        let mut mgr = CampaignManager::new(
+            api,
+            MinActiveAudiencePolicy { min_active: 1_000_000_000 },
+            DeliveryModel::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(14);
+        let (id, violation) = mgr.launch(&mut rng, spec(vec![InterestId(1)]), false).unwrap_err();
+        assert!(matches!(violation, PolicyViolation::AudienceTooSmall { .. }));
+        assert!(matches!(mgr.state(id), Some(CampaignState::Rejected(_))));
+        assert_eq!(mgr.static_rejections(), 0);
     }
 
     #[test]

@@ -98,8 +98,12 @@ pub trait PlatformPolicy {
     /// Implementations must be *sound*: whenever they return
     /// [`StaticDecision::Accept`] or [`StaticDecision::Reject`], the dynamic
     /// [`evaluate`](PlatformPolicy::evaluate) called with the true audience
-    /// (guaranteed to lie inside `analysis.interval` for engine-measured
-    /// marginals) would reach the same verdict.  The default is always
+    /// would reach the same verdict.  The true audience is guaranteed to
+    /// lie inside `analysis.interval` only when `analysis.interval_sound`
+    /// holds (engine-measured marginals or a structural contradiction), so
+    /// interval-based decisions must return
+    /// [`StaticDecision::Inconclusive`] when it does not; spec-only rules
+    /// (interest caps) may stay decisive regardless.  The default is always
     /// inconclusive.
     fn evaluate_static(&self, spec: &CampaignSpec, analysis: &SpecAnalysis) -> StaticDecision {
         let _ = (spec, analysis);
@@ -200,6 +204,11 @@ impl PlatformPolicy for MinActiveAudiencePolicy {
     }
 
     fn evaluate_static(&self, _spec: &CampaignSpec, analysis: &SpecAnalysis) -> StaticDecision {
+        // An advisory interval (catalog-approximated marginals) proves
+        // nothing about the true audience: defer to the dynamic check.
+        if !analysis.interval_sound {
+            return StaticDecision::Inconclusive;
+        }
         // Compare rounded bounds so the verdict matches `evaluate` applied
         // to any true audience inside the interval: the true audience
         // rounds to something between `lower.round()` and `upper.round()`.
@@ -333,6 +342,7 @@ mod tests {
         SpecAnalysis {
             findings: Vec::new(),
             interval: AudienceInterval { lower, upper },
+            interval_sound: true,
             risk: NanotargetingRisk::assess(0, upper, &NpThresholds::paper()),
         }
     }
@@ -363,6 +373,27 @@ mod tests {
         );
         // Rounding agrees with the dynamic check at the boundary.
         assert_eq!(p.evaluate_static(&spec, &analysis(999.5, 1e6)), StaticDecision::Accept);
+    }
+
+    #[test]
+    fn min_audience_preflight_defers_on_advisory_intervals() {
+        let p = MinActiveAudiencePolicy::paper_proposal();
+        let spec = spec_with_interests(2);
+        // The same intervals that were decisive above prove nothing when
+        // the marginals behind them are approximate.
+        for (lo, hi) in [(0.0, 500.0), (2_000.0, 1e6)] {
+            let mut a = analysis(lo, hi);
+            a.interval_sound = false;
+            assert_eq!(p.evaluate_static(&spec, &a), StaticDecision::Inconclusive);
+        }
+        // The spec-only interest cap stays decisive regardless.
+        let mut a = analysis(0.0, 1e9);
+        a.interval_sound = false;
+        let cap = InterestCapPolicy::paper_proposal();
+        assert_eq!(
+            cap.evaluate_static(&spec_with_interests(9), &a),
+            StaticDecision::Reject(PolicyViolation::TooManyInterests { used: 9, max: 8 })
+        );
     }
 
     #[test]

@@ -134,6 +134,10 @@ impl TargetingSpec {
 
     /// Whether the spec targets the whole 50-country universe (the paper's
     /// 2020 "worldwide" setting).
+    ///
+    /// `build()` guarantees the stored codes are distinct and known, so a
+    /// length check suffices: 50 distinct known codes are exactly the
+    /// universe.
     pub fn is_worldwide(&self) -> bool {
         self.locations.len() == MAX_LOCATIONS
     }
@@ -268,9 +272,19 @@ impl TargetingBuilder {
         self.age_range
     }
 
-    /// Whether the staged location list is the whole targeting universe.
+    /// Whether the staged location list covers the whole targeting
+    /// universe.
+    ///
+    /// Unlike [`TargetingSpec::is_worldwide`], staged lists are unvalidated
+    /// — they may repeat codes or name countries outside the universe — so
+    /// membership is checked explicitly: the unique *known* codes must
+    /// cover every universe country.
     pub fn is_worldwide(&self) -> bool {
-        self.locations.len() == MAX_LOCATIONS
+        let mut known: Vec<usize> =
+            self.locations.iter().filter_map(|&c| country_index(c)).collect();
+        known.sort_unstable();
+        known.dedup();
+        known.len() == fbsim_population::TARGETING_UNIVERSE.len()
     }
 }
 
@@ -393,6 +407,24 @@ mod tests {
         assert_eq!(builder.staged_age_range(), Some((40, 20)));
         assert!(!builder.is_worldwide());
         assert!(TargetingSpec::builder().worldwide().is_worldwide());
+    }
+
+    #[test]
+    fn staged_worldwide_requires_universe_membership() {
+        // 50 entries alone are not enough: duplicates of one country…
+        let mut dupes = TargetingSpec::builder();
+        for _ in 0..MAX_LOCATIONS {
+            dupes = dupes.location(es());
+        }
+        assert!(!dupes.is_worldwide());
+        // …or 50 unknown codes never cover the universe.
+        let mut unknown = TargetingSpec::builder();
+        for _ in 0..MAX_LOCATIONS {
+            unknown = unknown.location(CountryCode::new("ZZ"));
+        }
+        assert!(!unknown.is_worldwide());
+        // A covering list stays worldwide even with an extra repeat staged.
+        assert!(TargetingSpec::builder().worldwide().location(es()).is_worldwide());
     }
 
     #[test]

@@ -333,6 +333,16 @@ pub fn lint_source(source: &str, class: FileClass) -> Vec<Violation> {
                 test_region = Some(depth);
             }
             true
+        } else if pending_test_attr {
+            // Between the attribute and its item.  A brace-less item (an
+            // out-of-line `mod tests;`, a `#[cfg(test)] use …;`) consumes
+            // the attribute, so a later unrelated braced item is not
+            // silently exempted; attribute or comment lines keep it
+            // pending.
+            if code.trim_end().ends_with(';') {
+                pending_test_attr = false;
+            }
+            true
         } else {
             false
         };
@@ -491,6 +501,21 @@ mod tests {
         let v = strict(src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn brace_less_cfg_test_item_does_not_exempt_later_code() {
+        // An out-of-line test module: the attribute applies to `mod tests;`
+        // only, so the following production fn is linted.
+        let src = "#[cfg(test)]\nmod tests;\nfn after() { bar().unwrap(); }\n";
+        let v = strict(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+        // Same for a single-line gated import.
+        let src = "#[cfg(test)] use helpers::fixture;\nfn after() { bar().unwrap(); }\n";
+        let v = strict(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
     }
 
     #[test]
