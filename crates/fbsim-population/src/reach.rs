@@ -28,13 +28,29 @@ use crate::catalog::{InterestCatalog, InterestId};
 use crate::panel::Panel;
 
 /// Filter over the targeting universe: a bitmask of country indices
-/// (bit `i` = country `i` of `TARGETING_UNIVERSE`).
+/// (bit `i` = country `i` of `TARGETING_UNIVERSE`). Bits 50..64 are outside
+/// the universe and can never be set: every constructor masks them off, so
+/// [`CountryFilter::len`] counts real countries only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CountryFilter(pub u64);
+pub struct CountryFilter(u64);
 
 impl CountryFilter {
+    /// Bitmask of the 50-country targeting universe.
+    const UNIVERSE: u64 = (1 << 50) - 1;
+
     /// All 50 countries (the paper's "worldwide" query set).
-    pub const ALL: CountryFilter = CountryFilter((1 << 50) - 1);
+    pub const ALL: CountryFilter = CountryFilter(Self::UNIVERSE);
+
+    /// Filter from a raw bitmask; bits outside the 50-country universe are
+    /// dropped.
+    pub fn from_bits(bits: u64) -> Self {
+        Self(bits & Self::UNIVERSE)
+    }
+
+    /// The raw bitmask (bits 50..64 always clear).
+    pub fn bits(&self) -> u64 {
+        self.0
+    }
 
     /// Filter containing exactly the given country indices.
     ///
@@ -53,7 +69,7 @@ impl CountryFilter {
     /// Whether country index `i` passes the filter.
     #[inline]
     pub fn contains(&self, i: u16) -> bool {
-        i < 64 && (self.0 >> i) & 1 == 1
+        i < 50 && (self.0 >> i) & 1 == 1
     }
 
     /// Number of countries in the filter.
@@ -75,7 +91,9 @@ pub struct ReachEngine<'a> {
 }
 
 /// Panel chunk size for rayon sweeps — big enough to amortise task overhead,
-/// small enough to parallelise test-scale panels.
+/// small enough to parallelise test-scale panels. The chunk partition is
+/// independent of the thread count and the engine folds chunk partials in
+/// chunk order, so reach values are bit-identical at any `UOF_THREADS`.
 const CHUNK: usize = 4_096;
 
 impl<'a> ReachEngine<'a> {
@@ -283,7 +301,8 @@ mod tests {
         let id = [InterestId(3)];
         let all = engine.conjunction_reach_in(&id, CountryFilter::ALL);
         let us = engine.conjunction_reach_in(&id, CountryFilter::of(&[0]));
-        let rest = engine.conjunction_reach_in(&id, CountryFilter(CountryFilter::ALL.0 & !1));
+        let rest = engine
+            .conjunction_reach_in(&id, CountryFilter::from_bits(CountryFilter::ALL.bits() & !1));
         assert!(us > 0.0);
         assert!(us < all);
         assert!((us + rest - all).abs() / all < 1e-9, "US + rest should equal worldwide");
@@ -293,7 +312,7 @@ mod tests {
     fn empty_filter_gives_zero() {
         let (catalog, panel) = engine_fixture();
         let engine = ReachEngine::new(&catalog, &panel);
-        assert_eq!(engine.conjunction_reach_in(&[InterestId(0)], CountryFilter(0)), 0.0);
+        assert_eq!(engine.conjunction_reach_in(&[InterestId(0)], CountryFilter::from_bits(0)), 0.0);
     }
 
     #[test]
@@ -323,14 +342,48 @@ mod tests {
         assert!(!f.contains(1));
         assert_eq!(f.len(), 3);
         assert!(!f.is_empty());
-        assert!(CountryFilter(0).is_empty());
+        assert!(CountryFilter::from_bits(0).is_empty());
         assert_eq!(CountryFilter::ALL.len(), 50);
+    }
+
+    #[test]
+    fn country_filter_masks_phantom_countries() {
+        // Bits 50..64 are outside the 50-country universe: a raw mask with
+        // them set must not create phantom countries that `contains` accepts
+        // and `len` counts.
+        let f = CountryFilter::from_bits(u64::MAX);
+        assert_eq!(f.bits(), CountryFilter::ALL.bits());
+        assert_eq!(f.len(), 50);
+        for i in 50..64 {
+            assert!(!f.contains(i), "bit {i} is outside the targeting universe");
+        }
+        assert!(!CountryFilter::from_bits(1 << 55).contains(55));
+        assert!(CountryFilter::from_bits(1 << 55).is_empty());
+        assert_eq!(CountryFilter::ALL, CountryFilter::from_bits(CountryFilter::ALL.bits()));
     }
 
     #[test]
     #[should_panic(expected = "outside the 50-country universe")]
     fn country_filter_rejects_out_of_range() {
         CountryFilter::of(&[50]);
+    }
+
+    #[test]
+    fn reach_is_bit_identical_across_thread_counts() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        let ids: Vec<InterestId> = (0..12).map(|i| InterestId(i * 31)).collect();
+        let single_seq = rayon::with_thread_count(1, || engine.conjunction_reach(&ids));
+        let nested_seq = rayon::with_thread_count(1, || engine.nested_reaches(&ids));
+        for threads in [2, 4, 7] {
+            let single = rayon::with_thread_count(threads, || engine.conjunction_reach(&ids));
+            assert_eq!(single.to_bits(), single_seq.to_bits(), "{threads} threads");
+            let nested = rayon::with_thread_count(threads, || engine.nested_reaches(&ids));
+            assert_eq!(nested.len(), nested_seq.len());
+            for (a, b) in nested.iter().zip(&nested_seq) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+        }
     }
 
     #[test]

@@ -8,8 +8,12 @@
 //! replacement, apply a user-supplied statistic, and report percentile CIs.
 //!
 //! Resampling is seeded and deterministic. Each replicate derives its RNG
-//! from the master seed and the replicate index, so results are identical
-//! whether replicates run sequentially or in parallel via rayon.
+//! from the master seed and the replicate index via splitmix64, so a
+//! replicate's value is a pure function of `(seed, index)` — independent of
+//! which worker thread runs it. Replicates execute in parallel on the
+//! vendored rayon pool, which collects results in replicate order, so the
+//! retained-value vector and the resulting CI are **bit-identical at any
+//! `UOF_THREADS`** (including the strictly sequential `UOF_THREADS=1`).
 
 use crate::quantile::{QuantileError, SortedSample};
 use rand::rngs::StdRng;
@@ -272,6 +276,28 @@ mod tests {
             bootstrap_ci(5, 10, 0.0, 0, |_| Some(0.0)).unwrap_err(),
             BootstrapError::InvalidLevel
         );
+    }
+
+    #[test]
+    fn bootstrap_bit_identical_across_thread_counts() {
+        let data: Vec<f64> = (0..240).map(|i| ((i * 131) % 89) as f64 / 3.0).collect();
+        let statistic =
+            |idx: &[usize]| Some(idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64);
+        let (ci_seq, values_seq) =
+            rayon::with_thread_count(1, || bootstrap_ci(data.len(), 800, 0.95, 77, statistic))
+                .unwrap();
+        for threads in [2, 4, 8] {
+            let (ci, values) = rayon::with_thread_count(threads, || {
+                bootstrap_ci(data.len(), 800, 0.95, 77, statistic)
+            })
+            .unwrap();
+            assert_eq!(ci.lo.to_bits(), ci_seq.lo.to_bits(), "{threads} threads");
+            assert_eq!(ci.hi.to_bits(), ci_seq.hi.to_bits(), "{threads} threads");
+            assert_eq!(values.len(), values_seq.len());
+            for (a, b) in values.iter().zip(&values_seq) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+        }
     }
 
     #[test]

@@ -12,8 +12,14 @@ use serde::{Deserialize, Serialize};
 /// Protocol version this build speaks.
 pub const PROTOCOL_VERSION: u32 = 1;
 
-/// Maximum frame length (a 25-interest request is ~500 bytes; 64 KiB is
-/// generous headroom while still bounding memory per connection).
+/// Maximum frame **payload** length, excluding the newline delimiter (a
+/// 25-interest request is ~500 bytes; 64 KiB is generous headroom while
+/// still bounding memory per connection).
+///
+/// The boundary is payload-based on both codec paths: a complete line with
+/// exactly `MAX_FRAME` payload bytes is accepted, and a partial line is
+/// rejected as soon as `MAX_FRAME + 1` bytes are buffered without a newline
+/// (at which point its eventual payload can only be over the limit).
 pub const MAX_FRAME: usize = 64 * 1024;
 
 /// A potential-reach query.
@@ -74,9 +80,15 @@ impl std::fmt::Display for FrameError {
 impl std::error::Error for FrameError {}
 
 /// Newline-delimited frame accumulator.
+///
+/// The newline scan is incremental: bytes checked by a previous
+/// [`FrameCodec::next_frame`] are never rescanned, so trickle-fed input
+/// (one TCP segment at a time) costs O(total bytes), not O(n²).
 #[derive(Debug, Default)]
 pub struct FrameCodec {
     buffer: BytesMut,
+    /// Prefix of `buffer` already known to contain no newline.
+    scanned: usize,
 }
 
 impl FrameCodec {
@@ -94,10 +106,13 @@ impl FrameCodec {
     ///
     /// # Errors
     ///
-    /// [`FrameError::Oversized`] when the buffered partial line exceeds
-    /// [`MAX_FRAME`]; the connection should be dropped.
+    /// [`FrameError::Oversized`] when a line's payload exceeds
+    /// [`MAX_FRAME`] — whether its newline has already arrived or not; the
+    /// connection should be dropped.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
-        if let Some(pos) = self.buffer.iter().position(|&b| b == b'\n') {
+        if let Some(off) = self.buffer[self.scanned..].iter().position(|&b| b == b'\n') {
+            let pos = self.scanned + off;
+            self.scanned = 0;
             if pos > MAX_FRAME {
                 return Err(FrameError::Oversized);
             }
@@ -105,6 +120,7 @@ impl FrameCodec {
             frame.truncate(pos); // drop the newline
             return Ok(Some(frame.to_vec()));
         }
+        self.scanned = self.buffer.len();
         if self.buffer.len() > MAX_FRAME {
             return Err(FrameError::Oversized);
         }
@@ -114,6 +130,12 @@ impl FrameCodec {
     /// Bytes currently buffered (for tests and diagnostics).
     pub fn buffered(&self) -> usize {
         self.buffer.remaining()
+    }
+
+    /// Bytes already scanned for a newline — the incremental-scan cursor
+    /// (for tests and diagnostics).
+    pub fn scan_offset(&self) -> usize {
+        self.scanned
     }
 }
 
@@ -206,6 +228,72 @@ mod tests {
         let mut data = vec![b'x'; MAX_FRAME + 1];
         data.push(b'\n');
         codec.feed(&data);
+        assert_eq!(codec.next_frame(), Err(FrameError::Oversized));
+    }
+
+    #[test]
+    fn trickle_feed_scans_each_byte_once() {
+        // Regression for the O(n²) scan: `next_frame` used to restart the
+        // newline search from the buffer start on every call; the cursor now
+        // advances past everything already checked.
+        let mut codec = FrameCodec::new();
+        codec.feed(&[b'x'; 10]);
+        assert_eq!(codec.next_frame(), Ok(None));
+        assert_eq!(codec.scan_offset(), 10);
+        codec.feed(&[b'x'; 5]);
+        assert_eq!(codec.next_frame(), Ok(None));
+        assert_eq!(codec.scan_offset(), 15);
+        codec.feed(b"\nabc");
+        let frame = codec.next_frame().unwrap().unwrap();
+        assert_eq!(frame.len(), 15);
+        // After a frame pops, the cursor restarts on the leftover bytes.
+        assert_eq!(codec.scan_offset(), 0);
+        assert_eq!(codec.next_frame(), Ok(None));
+        assert_eq!(codec.scan_offset(), 3);
+    }
+
+    #[test]
+    fn trickle_feed_handles_large_line_in_linear_time() {
+        // One MAX_FRAME-sized line fed in 1 KiB pieces with a poll between
+        // each piece — linear with the scan cursor, quadratic without it.
+        let mut codec = FrameCodec::new();
+        for _ in 0..(MAX_FRAME / 1024) {
+            codec.feed(&[b'y'; 1024]);
+            assert_eq!(codec.next_frame(), Ok(None));
+        }
+        assert_eq!(codec.scan_offset(), MAX_FRAME);
+        codec.feed(b"\n");
+        assert_eq!(codec.next_frame().unwrap().unwrap().len(), MAX_FRAME);
+    }
+
+    #[test]
+    fn payload_boundary_exactly_max_frame_accepted() {
+        // The size boundary is payload-based: exactly MAX_FRAME payload
+        // bytes + newline is the largest accepted line, fed whole...
+        let mut codec = FrameCodec::new();
+        let mut data = vec![b'x'; MAX_FRAME];
+        data.push(b'\n');
+        codec.feed(&data);
+        assert_eq!(codec.next_frame().unwrap().unwrap().len(), MAX_FRAME);
+        // ...or split at the worst spot (payload complete, newline pending).
+        let mut codec = FrameCodec::new();
+        codec.feed(&vec![b'x'; MAX_FRAME]);
+        assert_eq!(codec.next_frame(), Ok(None));
+        codec.feed(b"\n");
+        assert_eq!(codec.next_frame().unwrap().unwrap().len(), MAX_FRAME);
+    }
+
+    #[test]
+    fn payload_boundary_max_frame_plus_one_rejected_on_both_paths() {
+        // Complete line, one payload byte over the limit.
+        let mut codec = FrameCodec::new();
+        let mut data = vec![b'x'; MAX_FRAME + 1];
+        data.push(b'\n');
+        codec.feed(&data);
+        assert_eq!(codec.next_frame(), Err(FrameError::Oversized));
+        // Partial line: rejected as soon as the payload can no longer fit.
+        let mut codec = FrameCodec::new();
+        codec.feed(&vec![b'x'; MAX_FRAME + 1]);
         assert_eq!(codec.next_frame(), Err(FrameError::Oversized));
     }
 

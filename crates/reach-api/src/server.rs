@@ -35,6 +35,36 @@ impl Default for RateLimitConfig {
     }
 }
 
+/// Longest retry backoff a [`TokenBucket`] will ever suggest. Also the wait
+/// reported if a non-positive refill rate slips past validation — without
+/// this clamp `deficit / 0.0 = inf` and `Duration::from_secs_f64` panics in
+/// the connection thread.
+const MAX_RETRY_BACKOFF: Duration = Duration::from_secs(60);
+
+impl RateLimitConfig {
+    /// Checks the config can actually admit requests: both fields must be
+    /// finite, the capacity at least one token and the refill rate positive.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.capacity.is_finite() || self.capacity < 1.0 {
+            return Err(format!(
+                "rate-limit capacity must be a finite value >= 1, got {}",
+                self.capacity
+            ));
+        }
+        if !self.refill_per_second.is_finite() || self.refill_per_second <= 0.0 {
+            return Err(format!(
+                "rate-limit refill rate must be a finite value > 0, got {}",
+                self.refill_per_second
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Server configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerConfig {
@@ -74,7 +104,15 @@ impl TokenBucket {
             Ok(())
         } else {
             let deficit = 1.0 - self.tokens;
-            Err(Duration::from_secs_f64(deficit / self.config.refill_per_second))
+            let wait = deficit / self.config.refill_per_second;
+            // A zero/negative/NaN refill rate gives a non-finite or negative
+            // wait; clamp into [0, MAX_RETRY_BACKOFF] so the conversion
+            // below cannot panic and the client gets a well-formed backoff.
+            if wait.is_finite() && wait >= 0.0 {
+                Err(Duration::from_secs_f64(wait).min(MAX_RETRY_BACKOFF))
+            } else {
+                Err(MAX_RETRY_BACKOFF)
+            }
         }
     }
 }
@@ -92,8 +130,14 @@ impl ReachServer {
     ///
     /// # Errors
     ///
-    /// Propagates socket errors from binding.
+    /// [`std::io::ErrorKind::InvalidInput`] when the rate-limit config is
+    /// unusable (see [`RateLimitConfig::validate`]); otherwise propagates
+    /// socket errors from binding.
     pub fn start(world: Arc<World>, config: ServerConfig) -> std::io::Result<Self> {
+        config
+            .rate_limit
+            .validate()
+            .map_err(|m| std::io::Error::new(std::io::ErrorKind::InvalidInput, m))?;
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -267,6 +311,46 @@ mod tests {
         // After the refill interval the bucket recovers.
         std::thread::sleep(Duration::from_millis(5));
         assert!(bucket.try_take().is_ok());
+    }
+
+    #[test]
+    fn zero_refill_rate_yields_clamped_wait_not_panic() {
+        // Regression: with refill_per_second = 0 the suggested wait used to
+        // be `deficit / 0 = inf`, and `Duration::from_secs_f64(inf)` panicked
+        // in the connection thread.
+        let mut bucket =
+            TokenBucket::new(RateLimitConfig { capacity: 1.0, refill_per_second: 0.0 });
+        assert!(bucket.try_take().is_ok());
+        match bucket.try_take() {
+            Err(wait) => assert_eq!(wait, MAX_RETRY_BACKOFF),
+            Ok(()) => panic!("drained bucket with zero refill must not admit"),
+        }
+    }
+
+    #[test]
+    fn huge_deficit_waits_are_capped() {
+        let mut bucket =
+            TokenBucket::new(RateLimitConfig { capacity: 1.0, refill_per_second: 1e-12 });
+        assert!(bucket.try_take().is_ok());
+        match bucket.try_take() {
+            Err(wait) => assert!(wait <= MAX_RETRY_BACKOFF),
+            Ok(()) => panic!("drained bucket must not admit"),
+        }
+    }
+
+    #[test]
+    fn rate_limit_config_validation() {
+        assert!(RateLimitConfig::default().validate().is_ok());
+        for bad in [
+            RateLimitConfig { capacity: 50.0, refill_per_second: 0.0 },
+            RateLimitConfig { capacity: 50.0, refill_per_second: -1.0 },
+            RateLimitConfig { capacity: 50.0, refill_per_second: f64::NAN },
+            RateLimitConfig { capacity: 50.0, refill_per_second: f64::INFINITY },
+            RateLimitConfig { capacity: 0.5, refill_per_second: 25.0 },
+            RateLimitConfig { capacity: f64::NAN, refill_per_second: 25.0 },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

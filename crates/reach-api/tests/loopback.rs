@@ -123,6 +123,49 @@ fn concurrent_clients_are_isolated() {
 }
 
 #[test]
+fn concurrent_clients_throttled_but_all_served() {
+    // Several connections bursting past their per-connection buckets at
+    // once: rate limits must be honoured (clients back off and retry, no
+    // panics in connection threads) and the served counter must agree with
+    // the total number of successful queries.
+    let server = start_server(ServerConfig {
+        era: ReportingEra::Early2017,
+        rate_limit: RateLimitConfig { capacity: 2.0, refill_per_second: 400.0 },
+    });
+    let addr = server.addr();
+    let threads: Vec<_> = (0..3)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = ReachClient::connect(addr).unwrap();
+                for i in 0..15u32 {
+                    let reach = client.potential_reach(&["US"], &[t * 100 + i]).unwrap();
+                    assert!(reach.reported >= 20);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(server.requests_served(), 45);
+}
+
+#[test]
+fn invalid_rate_limit_config_rejected_at_start() {
+    // Regression: a zero refill rate used to pass start-up and then panic a
+    // connection thread (`Duration::from_secs_f64(inf)`) on the first
+    // throttled request; now it is rejected before the socket binds.
+    for refill in [0.0, -5.0, f64::NAN] {
+        let config = ServerConfig {
+            era: ReportingEra::Early2017,
+            rate_limit: RateLimitConfig { capacity: 10.0, refill_per_second: refill },
+        };
+        let err = ReachServer::start(test_world(), config).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "refill {refill}");
+    }
+}
+
+#[test]
 fn shutdown_is_prompt_and_idempotent() {
     let mut server = start_server(ServerConfig::default());
     let start = std::time::Instant::now();

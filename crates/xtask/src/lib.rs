@@ -13,6 +13,11 @@
 //!   with an explicit tolerance.
 //! * [`Rule::UnjustifiedAllow`] — no `#[allow(...)]` / `#![allow(...)]`
 //!   without a justification comment on the same or the preceding line.
+//! * [`Rule::ThreadSpawn`] — no direct `std::thread::spawn` in library
+//!   crates: CPU parallelism must go through the vendored rayon pool so
+//!   `UOF_THREADS` and the deterministic-reduction contract apply.
+//!   `reach-api` (thread-per-connection I/O, not data parallelism) is
+//!   exempt, as are tests, benches and binaries.
 //!
 //! Findings can be waived inline with
 //! `// lint:allow(<rule>) — reason` on the offending line or the line
@@ -43,12 +48,20 @@ pub enum Rule {
     FloatEq,
     /// `#[allow(...)]` without a justification comment.
     UnjustifiedAllow,
+    /// Direct `std::thread::spawn` in library code that should use the
+    /// vendored rayon pool instead.
+    ThreadSpawn,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 4] =
-        [Rule::NoUnwrap, Rule::NondeterministicRng, Rule::FloatEq, Rule::UnjustifiedAllow];
+    pub const ALL: [Rule; 5] = [
+        Rule::NoUnwrap,
+        Rule::NondeterministicRng,
+        Rule::FloatEq,
+        Rule::UnjustifiedAllow,
+        Rule::ThreadSpawn,
+    ];
 
     /// The rule's waiver / report name.
     pub fn name(self) -> &'static str {
@@ -57,6 +70,7 @@ impl Rule {
             Rule::NondeterministicRng => "nondeterministic-rng",
             Rule::FloatEq => "float-eq",
             Rule::UnjustifiedAllow => "unjustified-allow",
+            Rule::ThreadSpawn => "thread-spawn",
         }
     }
 
@@ -79,11 +93,14 @@ pub struct FileClass {
     pub library: bool,
     /// Simulation crate: [`Rule::NondeterministicRng`] applies.
     pub simulation: bool,
+    /// Library code that must parallelise through the vendored rayon pool:
+    /// [`Rule::ThreadSpawn`] applies.
+    pub thread_policed: bool,
 }
 
 impl FileClass {
     /// Class under which every rule fires — what the unit-test fixtures use.
-    pub const STRICT: Self = Self { library: true, simulation: true };
+    pub const STRICT: Self = Self { library: true, simulation: true, thread_policed: true };
 }
 
 /// One lint finding.
@@ -382,6 +399,9 @@ pub fn lint_source(source: &str, class: FileClass) -> Vec<Violation> {
         if !in_test && has_float_comparison(&code) {
             push(Rule::FloatEq, &waived);
         }
+        if class.thread_policed && !in_test && code.contains("thread::spawn") {
+            push(Rule::ThreadSpawn, &waived);
+        }
         if code.contains("#[allow(") || code.contains("#![allow(") {
             // Justified when the raw line (or its predecessor) carries any
             // `//` comment text explaining it.
@@ -424,7 +444,11 @@ pub fn classify(rel: &Path) -> Option<FileClass> {
     };
     let simulation = crate_name.starts_with("fbsim")
         || matches!(crate_name, "uniqueness" | "nanotarget" | "unique-on-facebook");
-    Some(FileClass { library: !test_like && !bin_like, simulation })
+    let library = !test_like && !bin_like;
+    // reach-api's thread-per-connection server is I/O concurrency, not data
+    // parallelism — it may spawn; everything else goes through the pool.
+    let thread_policed = library && crate_name != "reach-api";
+    Some(FileClass { library, simulation, thread_policed })
 }
 
 /// Recursively collects `.rs` files under `dir`, skipping `vendor/`,
@@ -521,7 +545,8 @@ mod tests {
     #[test]
     fn non_library_files_may_unwrap() {
         let src = "fn main() { run().unwrap(); }\n";
-        let v = lint_source(src, FileClass { library: false, simulation: true });
+        let v =
+            lint_source(src, FileClass { library: false, simulation: true, thread_policed: false });
         assert!(v.is_empty());
     }
 
@@ -531,8 +556,31 @@ mod tests {
         let v = strict(src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::NondeterministicRng);
-        let v = lint_source(src, FileClass { library: true, simulation: false });
+        let v =
+            lint_source(src, FileClass { library: true, simulation: false, thread_policed: true });
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn flags_thread_spawn_in_policed_library_code() {
+        let src = "fn f() {\n    let h = std::thread::spawn(|| 1);\n}\n";
+        let v = strict(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::ThreadSpawn);
+        // Bare `thread::spawn` (with `use std::thread`) is caught too.
+        let bare = "fn f() {\n    thread::spawn(|| 1);\n}\n";
+        assert_eq!(strict(bare)[0].rule, Rule::ThreadSpawn);
+        // Exempt where the class says spawning is fine (reach-api, bins).
+        let v =
+            lint_source(src, FileClass { library: true, simulation: false, thread_policed: false });
+        assert!(v.is_empty());
+        // Test modules may spawn.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| 1); }\n}\n";
+        assert!(strict(test_src).is_empty());
+        // Waivable with a reason.
+        let waived =
+            "fn f() {\n    // lint:allow(thread-spawn) — watchdog timer, not data parallelism\n    std::thread::spawn(|| 1);\n}\n";
+        assert!(strict(waived).is_empty());
     }
 
     #[test]
@@ -601,13 +649,19 @@ mod tests {
     #[test]
     fn classify_maps_paths() {
         let lib = classify(Path::new("crates/uniqueness/src/np.rs")).unwrap();
-        assert!(lib.library && lib.simulation);
+        assert!(lib.library && lib.simulation && lib.thread_policed);
         let bin = classify(Path::new("crates/bench/src/bin/fig_np.rs")).unwrap();
-        assert!(!bin.library);
+        assert!(!bin.library && !bin.thread_policed);
         let test = classify(Path::new("tests/end_to_end.rs")).unwrap();
-        assert!(!test.library && test.simulation);
+        assert!(!test.library && test.simulation && !test.thread_policed);
         let xt = classify(Path::new("crates/xtask/src/lib.rs")).unwrap();
         assert!(xt.library && !xt.simulation);
+        // reach-api may spawn (thread-per-connection server), everyone else
+        // must go through the vendored pool.
+        let api = classify(Path::new("crates/reach-api/src/server.rs")).unwrap();
+        assert!(api.library && !api.thread_policed);
+        let pop = classify(Path::new("crates/fbsim-population/src/reach.rs")).unwrap();
+        assert!(pop.thread_policed);
         assert!(classify(Path::new("vendor/rand/src/lib.rs")).is_none());
         assert!(classify(Path::new("README.md")).is_none());
     }

@@ -3,6 +3,10 @@
 #
 #   scripts/check.sh          # fmt check + lint + release build + tests
 #
+# Tests run twice: once strictly sequentially (UOF_THREADS=1) and once at
+# the default thread count, so a scheduling-dependent regression in the
+# parallel pipeline cannot hide behind either configuration.
+#
 # Each step fails fast; run from anywhere inside the repo.
 set -euo pipefail
 
@@ -17,7 +21,10 @@ cargo run -q -p xtask -- lint
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
+echo "==> cargo test -q (UOF_THREADS=1, strictly sequential)"
+UOF_THREADS=1 cargo test -q
+
+echo "==> cargo test -q (default thread count)"
 cargo test -q
 
 echo "==> all checks passed"

@@ -1,0 +1,93 @@
+//! Cross-thread-count determinism: every parallel number in the pipeline
+//! must be **bit-identical** whether computed sequentially (`UOF_THREADS=1`)
+//! or on any number of workers. The vendored rayon pool guarantees this by
+//! partitioning work into blocks whose layout depends only on input length
+//! and folding per-block partials in block order; these tests pin the
+//! guarantee end to end through the public APIs.
+
+use std::sync::OnceLock;
+use unique_on_facebook::population::reach::CountryFilter;
+use unique_on_facebook::population::{InterestId, World, WorldConfig};
+use unique_on_facebook::stats::bootstrap_ci;
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::generate(WorldConfig::test_scale(2021)).unwrap())
+}
+
+/// Interest sequences shaped like the paper's audiences: prefixes of a
+/// spread-out id walk, from broad single interests to deep conjunctions.
+fn sequences() -> Vec<Vec<InterestId>> {
+    (0..6u32)
+        .map(|s| (0..20u32).map(|i| InterestId((s * 101 + i * 37) % 2_000)).collect())
+        .collect()
+}
+
+#[test]
+fn conjunction_reach_bit_identical_across_thread_counts() {
+    let engine = world().reach_engine();
+    let filter = CountryFilter::ALL;
+    let baseline: Vec<u64> = rayon::with_thread_count(1, || {
+        sequences().iter().map(|seq| engine.conjunction_reach_in(seq, filter).to_bits()).collect()
+    });
+    for threads in [2, 3, 4, 8] {
+        let got: Vec<u64> = rayon::with_thread_count(threads, || {
+            sequences()
+                .iter()
+                .map(|seq| engine.conjunction_reach_in(seq, filter).to_bits())
+                .collect()
+        });
+        assert_eq!(got, baseline, "conjunction reach drifted at {threads} threads");
+    }
+}
+
+#[test]
+fn nested_reaches_bit_identical_across_thread_counts() {
+    let engine = world().reach_engine();
+    let filter = CountryFilter::from_bits(0b1011_0101);
+    let seq = &sequences()[0];
+    let baseline: Vec<u64> = rayon::with_thread_count(1, || {
+        engine.nested_reaches_in(seq, filter).iter().map(|v| v.to_bits()).collect()
+    });
+    for threads in [2, 5, 8] {
+        let got: Vec<u64> = rayon::with_thread_count(threads, || {
+            engine.nested_reaches_in(seq, filter).iter().map(|v| v.to_bits()).collect()
+        });
+        assert_eq!(got, baseline, "nested reaches drifted at {threads} threads");
+    }
+}
+
+#[test]
+fn bootstrap_ci_bit_identical_across_thread_counts() {
+    let data: Vec<f64> = (0..300).map(|i| ((i * 271) % 97) as f64 / 7.0).collect();
+    let statistic =
+        |idx: &[usize]| Some(idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64);
+    let (ci_seq, values_seq) = rayon::with_thread_count(1, || {
+        bootstrap_ci(data.len(), 600, 0.95, 2021, statistic).unwrap()
+    });
+    for threads in [2, 4, 7] {
+        let (ci, values) = rayon::with_thread_count(threads, || {
+            bootstrap_ci(data.len(), 600, 0.95, 2021, statistic).unwrap()
+        });
+        assert_eq!(ci.lo.to_bits(), ci_seq.lo.to_bits(), "{threads} threads");
+        assert_eq!(ci.hi.to_bits(), ci_seq.hi.to_bits(), "{threads} threads");
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&values), bits(&values_seq), "{threads} threads");
+    }
+}
+
+#[test]
+fn world_generation_bit_identical_across_thread_counts() {
+    // World generation runs taste-vector calibration through the pool; the
+    // resulting panel must not depend on worker count either.
+    let a = rayon::with_thread_count(1, || World::generate(WorldConfig::test_scale(7)).unwrap());
+    let b = rayon::with_thread_count(4, || World::generate(WorldConfig::test_scale(7)).unwrap());
+    let engine_a = a.reach_engine();
+    let engine_b = b.reach_engine();
+    for seq in sequences() {
+        assert_eq!(
+            engine_a.conjunction_reach_in(&seq, CountryFilter::ALL).to_bits(),
+            engine_b.conjunction_reach_in(&seq, CountryFilter::ALL).to_bits(),
+        );
+    }
+}

@@ -1,175 +1,747 @@
-//! Offline vendored stand-in for `rayon`.
+//! Offline vendored stand-in for `rayon` with a real fork-join engine.
 //!
 //! Provides the data-parallel iterator API subset this workspace uses —
-//! `par_iter`, `par_chunks`, `into_par_iter`, with `map`/`filter_map`/
-//! `sum`/`collect`/`reduce` — executed **sequentially**. The build
-//! environment has no crates.io access, and none of the workspace's
-//! correctness properties depend on parallel execution; hot paths simply
-//! run single-threaded until a real rayon can be restored.
+//! `par_iter`, `par_chunks`, `into_par_iter`, with `map`/`filter`/
+//! `filter_map`/`flat_map`/`sum`/`collect`/`reduce`/`for_each` — executed on
+//! a std-only worker pool (`std::thread::scope`, no unsafe, no external
+//! deps). The real rayon `Send + Sync` closure bounds are enforced, so code
+//! written against this shim stays compatible with upstream rayon.
 //!
-//! The `Send`/`Sync` bounds of the real API are kept so code written
-//! against this shim stays compatible with upstream rayon.
+//! # Execution model
+//!
+//! A pipeline is driven in three steps:
+//!
+//! 1. The source's index space is split into **blocks** whose size depends
+//!    only on the input length (never on the thread count): the input is cut
+//!    into at most [`TARGET_BLOCKS`] contiguous blocks.
+//! 2. Blocks are claimed by worker threads off a shared atomic counter and
+//!    each block is folded sequentially, producing one partial result per
+//!    block. Worker panics are propagated to the caller.
+//! 3. The per-block partials are folded **sequentially in block-index
+//!    order** on the calling thread.
+//!
+//! Because the block partition and the fold order are independent of how
+//! many threads ran, every reduction — including non-associative `f64`
+//! addition — produces **bit-identical results at any thread count**. This
+//! is the determinism contract the reach sweeps, calibration and bootstrap
+//! rely on; see DESIGN.md §9.
+//!
+//! # Thread count
+//!
+//! The pool size is resolved per pipeline run:
+//!
+//! * [`with_thread_count`] override (scoped, thread-local) if active, else
+//! * the `UOF_THREADS` environment variable (`1` = strictly sequential
+//!   fallback that never spawns), else
+//! * [`std::thread::available_parallelism`].
+//!
+//! Worker threads run nested parallel pipelines sequentially, so a
+//! parallel statistic inside a parallel bootstrap cannot oversubscribe the
+//! machine.
 
 #![forbid(unsafe_code)]
 
-/// A "parallel" iterator: a thin wrapper over a sequential iterator exposing
-/// rayon's combinator names (including the two-argument `reduce`).
-pub struct ParIter<I> {
-    inner: I,
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Thread-count resolution
+// ---------------------------------------------------------------------------
+
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Scoped override installed by [`with_thread_count`] (and by worker
+    /// threads, which pin nested pipelines to 1).
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-impl<I: Iterator> ParIter<I> {
-    /// Maps each element.
-    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
-    where
-        F: FnMut(I::Item) -> R,
-    {
-        ParIter { inner: self.inner.map(f) }
+/// Restores the previous thread-count override on drop (panic-safe).
+struct OverrideGuard {
+    prev: Option<usize>,
+}
+
+impl OverrideGuard {
+    fn set(n: usize) -> Self {
+        let prev = THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1))));
+        Self { prev }
+    }
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        THREAD_OVERRIDE.with(|c| c.set(prev));
+    }
+}
+
+/// The number of threads the next pipeline run on this thread will use.
+///
+/// Resolution order: [`with_thread_count`] override → `UOF_THREADS` →
+/// [`std::thread::available_parallelism`]. Unset, unparsable or zero
+/// `UOF_THREADS` falls through to the hardware default.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|c| c.get()) {
+        return n.max(1);
+    }
+    if let Ok(raw) = std::env::var("UOF_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    *DEFAULT_THREADS
+        .get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Runs `f` with the pool size pinned to `n` (clamped to ≥ 1) on the current
+/// thread, restoring the previous setting afterwards — the shim's stand-in
+/// for rayon's `ThreadPoolBuilder`, used by benches and determinism tests to
+/// compare thread counts race-free within one process.
+pub fn with_thread_count<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = OverrideGuard::set(n);
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+/// Upper bound on the number of task blocks a pipeline is split into. Fixed
+/// (and in particular independent of the thread count) so the reduction tree
+/// is identical however many workers run.
+const TARGET_BLOCKS: usize = 256;
+
+fn block_len(units: usize, min_len: usize) -> usize {
+    units.div_ceil(TARGET_BLOCKS).max(min_len).max(1)
+}
+
+/// Runs `per_block(start, end)` over the fixed block partition of
+/// `0..units` and returns the per-block results **in block-index order**.
+///
+/// With an effective thread count of 1 (or a single block) everything runs
+/// on the calling thread and nothing is spawned. Otherwise scoped workers
+/// claim blocks off an atomic counter; a panicking block is re-raised on the
+/// caller once all workers have stopped.
+fn execute<R, F>(units: usize, min_len: usize, per_block: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    if units == 0 {
+        return Vec::new();
+    }
+    let block = block_len(units, min_len);
+    let nblocks = units.div_ceil(block);
+    let threads = current_num_threads().min(nblocks);
+    if threads <= 1 {
+        return (0..nblocks)
+            .map(|b| per_block(b * block, ((b + 1) * block).min(units)))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    // Nested pipelines inside a worker run sequentially.
+                    let _nested = OverrideGuard::set(1);
+                    let mut local = Vec::new();
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= nblocks {
+                            break;
+                        }
+                        local.push((b, per_block(b * block, ((b + 1) * block).min(units))));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(nblocks).collect();
+    for (b, r) in results.into_iter().flatten() {
+        slots[b] = Some(r);
+    }
+    slots.into_iter().map(|slot| slot.expect("every block was executed")).collect()
+}
+
+// ---------------------------------------------------------------------------
+// The parallel iterator trait
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator: a splittable pipeline over an indexed source.
+///
+/// Implementors describe how to fold one contiguous block of the source;
+/// the provided terminal methods (`sum`, `collect`, `reduce`, …) drive the
+/// blocks through [`execute`] and combine the partials in block order,
+/// which makes every terminal deterministic at any thread count.
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type flowing out of the pipeline.
+    type Item: Send;
+
+    /// Number of indivisible units in the source (elements, chunks, …).
+    fn units(&self) -> usize;
+
+    /// Minimum units per block, from [`Self::with_min_len`] hints.
+    fn min_len(&self) -> usize {
+        1
     }
 
-    /// Filters elements.
-    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    /// Folds the items of source units `start..end`, in order, into `acc`.
+    fn fold_block<A, F>(&self, start: usize, end: usize, acc: A, f: F) -> A
     where
-        F: FnMut(&I::Item) -> bool,
+        F: FnMut(A, Self::Item) -> A;
+
+    // -- adaptors ----------------------------------------------------------
+
+    /// Maps each element.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+        R: Send,
     {
-        ParIter { inner: self.inner.filter(f) }
+        Map { inner: self, f }
+    }
+
+    /// Keeps elements satisfying the predicate.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { inner: self, f }
     }
 
     /// Maps and filters in one pass.
-    pub fn filter_map<F, R>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
     where
-        F: FnMut(I::Item) -> Option<R>,
+        F: Fn(Self::Item) -> Option<R> + Sync + Send,
+        R: Send,
     {
-        ParIter { inner: self.inner.filter_map(f) }
+        FilterMap { inner: self, f }
     }
 
     /// Flattens mapped iterators.
-    pub fn flat_map<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    fn flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
     where
-        F: FnMut(I::Item) -> U,
+        F: Fn(Self::Item) -> U + Sync + Send,
         U: IntoIterator,
+        U::Item: Send,
     {
-        ParIter { inner: self.inner.flat_map(f) }
+        FlatMap { inner: self, f }
     }
 
-    /// Sums the elements.
-    pub fn sum<S>(self) -> S
+    /// Hints that blocks should hold at least `min` units — rayon's
+    /// granularity knob. The effective block size stays independent of the
+    /// thread count, so this cannot break determinism.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { inner: self, min }
+    }
+
+    // -- terminals ---------------------------------------------------------
+
+    /// Sums the elements. Per-block partial sums are combined in block
+    /// order, so `f64` sums are reproducible at any thread count.
+    fn sum<S>(self) -> S
     where
-        S: std::iter::Sum<I::Item>,
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
     {
-        self.inner.sum()
+        let partials = execute(self.units(), self.min_len(), |start, end| {
+            let items = self.fold_block(start, end, Vec::new(), |mut v, x| {
+                v.push(x);
+                v
+            });
+            items.into_iter().sum::<S>()
+        });
+        partials.into_iter().sum()
     }
 
     /// Counts the elements.
-    pub fn count(self) -> usize {
-        self.inner.count()
+    fn count(self) -> usize {
+        execute(self.units(), self.min_len(), |start, end| {
+            self.fold_block(start, end, 0usize, |n, _| n + 1)
+        })
+        .into_iter()
+        .sum()
     }
 
-    /// Collects into any `FromIterator` container.
-    pub fn collect<C>(self) -> C
+    /// Collects into any `FromIterator` container, preserving source order.
+    fn collect<C>(self) -> C
     where
-        C: FromIterator<I::Item>,
+        C: FromIterator<Self::Item>,
     {
-        self.inner.collect()
+        let partials = execute(self.units(), self.min_len(), |start, end| {
+            self.fold_block(start, end, Vec::new(), |mut v, x| {
+                v.push(x);
+                v
+            })
+        });
+        partials.into_iter().flatten().collect()
     }
 
-    /// Runs `f` on each element.
-    pub fn for_each<F>(self, f: F)
+    /// Runs `f` on each element (in parallel; no ordering guarantee on side
+    /// effects across blocks).
+    fn for_each<F>(self, f: F)
     where
-        F: FnMut(I::Item),
+        F: Fn(Self::Item) + Sync + Send,
     {
-        self.inner.for_each(f)
+        execute(self.units(), self.min_len(), |start, end| {
+            self.fold_block(start, end, (), |(), x| f(x))
+        });
     }
 
-    /// Rayon-style reduce: folds from `identity()` with an associative `op`.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// Rayon-style reduce: folds each block from `identity()` with an
+    /// associative `op`, then folds the block partials in block order.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
     {
-        self.inner.fold(identity(), op)
+        let partials = execute(self.units(), self.min_len(), |start, end| {
+            self.fold_block(start, end, identity(), |a, b| op(a, b))
+        });
+        partials.into_iter().fold(identity(), op)
     }
 
-    /// Maximum element under a comparator.
-    pub fn max_by<F>(self, f: F) -> Option<I::Item>
+    /// Maximum element under a comparator (ties resolve to the later
+    /// element, matching `Iterator::max_by`).
+    fn max_by<F>(self, f: F) -> Option<Self::Item>
     where
-        F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering,
+        F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering + Sync + Send,
     {
-        self.inner.max_by(f)
-    }
-
-    /// Rayon's `with_min_len` chunking hint — a no-op here.
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
+        let pick = |best: Option<Self::Item>, x: Self::Item| match best {
+            None => Some(x),
+            Some(b) => {
+                if f(&x, &b) == std::cmp::Ordering::Less {
+                    Some(b)
+                } else {
+                    Some(x)
+                }
+            }
+        };
+        let partials = execute(self.units(), self.min_len(), |start, end| {
+            self.fold_block(start, end, None, pick)
+        });
+        partials.into_iter().flatten().fold(None, pick)
     }
 }
 
-/// Conversion into a "parallel" iterator, mirroring
-/// `rayon::iter::IntoParallelIterator`.
+// ---------------------------------------------------------------------------
+// Adaptors
+// ---------------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+
+    fn units(&self) -> usize {
+        self.inner.units()
+    }
+
+    fn min_len(&self) -> usize {
+        self.inner.min_len()
+    }
+
+    fn fold_block<A, G>(&self, start: usize, end: usize, acc: A, mut g: G) -> A
+    where
+        G: FnMut(A, R) -> A,
+    {
+        self.inner.fold_block(start, end, acc, |a, item| g(a, (self.f)(item)))
+    }
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Sync + Send,
+{
+    type Item = P::Item;
+
+    fn units(&self) -> usize {
+        self.inner.units()
+    }
+
+    fn min_len(&self) -> usize {
+        self.inner.min_len()
+    }
+
+    fn fold_block<A, G>(&self, start: usize, end: usize, acc: A, mut g: G) -> A
+    where
+        G: FnMut(A, P::Item) -> A,
+    {
+        self.inner.fold_block(
+            start,
+            end,
+            acc,
+            |a, item| if (self.f)(&item) { g(a, item) } else { a },
+        )
+    }
+}
+
+/// See [`ParallelIterator::filter_map`].
+pub struct FilterMap<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for FilterMap<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> Option<R> + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+
+    fn units(&self) -> usize {
+        self.inner.units()
+    }
+
+    fn min_len(&self) -> usize {
+        self.inner.min_len()
+    }
+
+    fn fold_block<A, G>(&self, start: usize, end: usize, acc: A, mut g: G) -> A
+    where
+        G: FnMut(A, R) -> A,
+    {
+        self.inner.fold_block(start, end, acc, |a, item| match (self.f)(item) {
+            Some(r) => g(a, r),
+            None => a,
+        })
+    }
+}
+
+/// See [`ParallelIterator::flat_map`].
+pub struct FlatMap<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for FlatMap<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> U + Sync + Send,
+    U: IntoIterator,
+    U::Item: Send,
+{
+    type Item = U::Item;
+
+    fn units(&self) -> usize {
+        self.inner.units()
+    }
+
+    fn min_len(&self) -> usize {
+        self.inner.min_len()
+    }
+
+    fn fold_block<A, G>(&self, start: usize, end: usize, acc: A, mut g: G) -> A
+    where
+        G: FnMut(A, U::Item) -> A,
+    {
+        self.inner.fold_block(start, end, acc, |a, item| {
+            (self.f)(item).into_iter().fold(a, &mut g)
+        })
+    }
+}
+
+/// See [`ParallelIterator::with_min_len`].
+pub struct MinLen<P> {
+    inner: P,
+    min: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for MinLen<P> {
+    type Item = P::Item;
+
+    fn units(&self) -> usize {
+        self.inner.units()
+    }
+
+    fn min_len(&self) -> usize {
+        self.inner.min_len().max(self.min)
+    }
+
+    fn fold_block<A, G>(&self, start: usize, end: usize, acc: A, g: G) -> A
+    where
+        G: FnMut(A, P::Item) -> A,
+    {
+        self.inner.fold_block(start, end, acc, g)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Borrowing parallel iterator over slice elements.
+pub struct SlicePar<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SlicePar<'a, T> {
+    type Item = &'a T;
+
+    fn units(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn fold_block<A, F>(&self, start: usize, end: usize, mut acc: A, mut f: F) -> A
+    where
+        F: FnMut(A, &'a T) -> A,
+    {
+        for item in &self.slice[start..end] {
+            acc = f(acc, item);
+        }
+        acc
+    }
+}
+
+/// Borrowing parallel iterator over fixed-size slice chunks.
+pub struct ChunksPar<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksPar<'a, T> {
+    type Item = &'a [T];
+
+    fn units(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn fold_block<A, F>(&self, start: usize, end: usize, mut acc: A, mut f: F) -> A
+    where
+        F: FnMut(A, &'a [T]) -> A,
+    {
+        for i in start..end {
+            let lo = i * self.chunk;
+            let hi = ((i + 1) * self.chunk).min(self.slice.len());
+            acc = f(acc, &self.slice[lo..hi]);
+        }
+        acc
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangePar<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),* $(,)?) => {$(
+        impl ParallelIterator for RangePar<$t> {
+            type Item = $t;
+
+            fn units(&self) -> usize {
+                self.len
+            }
+
+            fn fold_block<A, F>(&self, start: usize, end: usize, mut acc: A, mut f: F) -> A
+            where
+                F: FnMut(A, $t) -> A,
+            {
+                for i in start..end {
+                    acc = f(acc, self.start + i as $t);
+                }
+                acc
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangePar<$t>;
+
+            fn into_par_iter(self) -> RangePar<$t> {
+                let len =
+                    if self.end > self.start { (self.end - self.start) as usize } else { 0 };
+                RangePar { start: self.start, len }
+            }
+        }
+    )*};
+}
+
+impl_range_par!(u8, u16, u32, u64, usize);
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`. Implemented for the unsigned integer
+/// ranges this workspace parallelises over; slices go through
+/// [`ParallelSlice`].
 pub trait IntoParallelIterator {
     /// The element type.
-    type Item;
-    /// The wrapped iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
 
     /// Converts `self` into a parallel iterator.
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
-}
-
-impl<T: IntoIterator> IntoParallelIterator for T {
-    type Item = T::Item;
-    type Iter = T::IntoIter;
-
-    fn into_par_iter(self) -> ParIter<T::IntoIter> {
-        ParIter { inner: self.into_iter() }
-    }
+    fn into_par_iter(self) -> Self::Iter;
 }
 
 /// Borrowing parallel iteration over slices, mirroring
 /// `rayon::slice::ParallelSlice` and `IntoParallelRefIterator`.
-pub trait ParallelSlice<T> {
+pub trait ParallelSlice<T: Sync> {
     /// Parallel iterator over elements by reference.
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    fn par_iter(&self) -> SlicePar<'_, T>;
     /// Parallel iterator over fixed-size chunks.
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T>;
 }
 
-impl<T, S: AsRef<[T]> + ?Sized> ParallelSlice<T> for S {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-        ParIter { inner: self.as_ref().iter() }
+impl<T: Sync, S: AsRef<[T]> + ?Sized> ParallelSlice<T> for S {
+    fn par_iter(&self) -> SlicePar<'_, T> {
+        SlicePar { slice: self.as_ref() }
     }
 
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter { inner: self.as_ref().chunks(chunk_size) }
+    fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ChunksPar { slice: self.as_ref(), chunk: chunk_size }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutable slices
+// ---------------------------------------------------------------------------
+
+/// Mutable parallel iterator over slice elements (supports `for_each`).
+pub struct IterMutPar<'a, T> {
+    slice: &'a mut [T],
+}
+
+/// Mutable parallel iterator over fixed-size chunks (supports `for_each`).
+pub struct ChunksMutPar<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+/// Distributes disjoint mutable pieces to scoped workers via a take-once
+/// slot per piece; panics propagate to the caller.
+fn run_pieces<T: Send, F: Fn(&mut [T]) + Sync>(pieces: Vec<&mut [T]>, f: &F) {
+    let threads = current_num_threads().min(pieces.len());
+    if threads <= 1 {
+        for piece in pieces {
+            f(piece);
+        }
+        return;
+    }
+    let slots: Vec<Mutex<Option<&mut [T]>>> =
+        pieces.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let _nested = OverrideGuard::set(1);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= slots.len() {
+                            break;
+                        }
+                        let piece = slots[i].lock().expect("piece lock").take();
+                        if let Some(piece) = piece {
+                            f(piece);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+impl<'a, T: Send> IterMutPar<'a, T> {
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync + Send,
+    {
+        if self.slice.is_empty() {
+            return;
+        }
+        let block = block_len(self.slice.len(), 1);
+        let pieces: Vec<&mut [T]> = self.slice.chunks_mut(block).collect();
+        run_pieces(pieces, &|piece: &mut [T]| {
+            for item in piece.iter_mut() {
+                f(item);
+            }
+        });
+    }
+}
+
+impl<'a, T: Send> ChunksMutPar<'a, T> {
+    /// Runs `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync + Send,
+    {
+        if self.slice.is_empty() {
+            return;
+        }
+        let pieces: Vec<&mut [T]> = self.slice.chunks_mut(self.chunk).collect();
+        run_pieces(pieces, &f);
     }
 }
 
 /// Mutable parallel iteration over slices.
-pub trait ParallelSliceMut<T> {
+pub trait ParallelSliceMut<T: Send> {
     /// Parallel iterator over elements by mutable reference.
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    fn par_iter_mut(&mut self) -> IterMutPar<'_, T>;
     /// Parallel iterator over fixed-size mutable chunks.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutPar<'_, T>;
 }
 
-impl<T, S: AsMut<[T]> + ?Sized> ParallelSliceMut<T> for S {
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
-        ParIter { inner: self.as_mut().iter_mut() }
+impl<T: Send, S: AsMut<[T]> + ?Sized> ParallelSliceMut<T> for S {
+    fn par_iter_mut(&mut self) -> IterMutPar<'_, T> {
+        IterMutPar { slice: self.as_mut() }
     }
 
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter { inner: self.as_mut().chunks_mut(chunk_size) }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutPar<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ChunksMutPar { slice: self.as_mut(), chunk: chunk_size }
     }
 }
 
 /// The rayon prelude: the traits that put `par_*` methods in scope.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, with_thread_count};
 
     #[test]
     fn map_sum_matches_sequential() {
@@ -182,16 +754,153 @@ mod tests {
     #[test]
     fn chunked_reduce_accumulates() {
         let v: Vec<f64> = (0..10).map(|x| x as f64).collect();
-        let total = v
-            .par_chunks(3)
-            .map(|c| c.iter().sum::<f64>())
-            .reduce(|| 0.0, |a, b| a + b);
+        let total =
+            v.par_chunks(3).map(|c| c.iter().sum::<f64>()).reduce(|| 0.0, |a, b| a + b);
         assert!((total - 45.0).abs() < 1e-12);
     }
 
     #[test]
-    fn into_par_iter_filter_map_collect() {
-        let out: Vec<u64> = (0u64..20).into_par_iter().filter_map(|x| (x % 2 == 0).then_some(x)).collect();
-        assert_eq!(out.len(), 10);
+    fn into_par_iter_filter_map_collect_preserves_order() {
+        let out: Vec<u64> =
+            (0u64..20_000).into_par_iter().filter_map(|x| (x % 2 == 0).then_some(x)).collect();
+        let seq: Vec<u64> = (0u64..20_000).filter(|x| x % 2 == 0).collect();
+        assert_eq!(out, seq);
+        let under_threads: Vec<u64> = with_thread_count(4, || {
+            (0u64..20_000).into_par_iter().filter_map(|x| (x % 2 == 0).then_some(x)).collect()
+        });
+        assert_eq!(under_threads, seq);
+    }
+
+    #[test]
+    fn f64_sum_bit_identical_at_any_thread_count() {
+        // Values chosen so addition order matters in f64.
+        let v: Vec<f64> = (1..=10_000).map(|i| 1.0 / i as f64).collect();
+        let reference = with_thread_count(1, || v.par_iter().map(|&x| x * 1.000001).sum::<f64>());
+        for threads in [2, 3, 4, 8] {
+            let got =
+                with_thread_count(threads, || v.par_iter().map(|&x| x * 1.000001).sum::<f64>());
+            assert_eq!(
+                got.to_bits(),
+                reference.to_bits(),
+                "sum must be bit-identical at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn vector_reduce_bit_identical_at_any_thread_count() {
+        let v: Vec<f64> = (0..5_000).map(|i| ((i * 37) % 1_000) as f64 / 7.0).collect();
+        let run = || {
+            v.par_chunks(64)
+                .map(|c| {
+                    let mut acc = vec![0.0f64; 4];
+                    for (k, &x) in c.iter().enumerate() {
+                        acc[k % 4] += x * 1.0000001;
+                    }
+                    acc
+                })
+                .reduce(
+                    || vec![0.0f64; 4],
+                    |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x += y;
+                        }
+                        a
+                    },
+                )
+        };
+        let reference = with_thread_count(1, run);
+        for threads in [2, 5, 16] {
+            let got = with_thread_count(threads, run);
+            let same = reference.iter().zip(&got).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "reduce must be bit-identical at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_path_runs_on_worker_threads() {
+        let main_id = std::thread::current().id();
+        let ids: Vec<std::thread::ThreadId> = with_thread_count(4, || {
+            (0u64..4_096).into_par_iter().map(|_| std::thread::current().id()).collect()
+        });
+        assert_eq!(ids.len(), 4_096);
+        assert!(ids.iter().all(|&id| id != main_id), "blocks must run on pool workers");
+        // Strictly sequential fallback never spawns.
+        let ids: Vec<std::thread::ThreadId> = with_thread_count(1, || {
+            (0u64..4_096).into_par_iter().map(|_| std::thread::current().id()).collect()
+        });
+        assert!(ids.iter().all(|&id| id == main_id), "UOF_THREADS=1 must not spawn");
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_thread_count(4, || {
+                (0u32..10_000).into_par_iter().for_each(|i| {
+                    if i == 5_757 {
+                        panic!("boom in worker");
+                    }
+                });
+            });
+        }));
+        assert!(result.is_err(), "a panicking block must fail the pipeline");
+    }
+
+    #[test]
+    fn with_thread_count_is_scoped_and_nested() {
+        let outer = current_num_threads();
+        with_thread_count(3, || {
+            assert_eq!(current_num_threads(), 3);
+            with_thread_count(7, || assert_eq!(current_num_threads(), 7));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn reduce_of_empty_input_is_identity() {
+        let v: Vec<f64> = Vec::new();
+        let total = v.par_iter().map(|&x| x).reduce(|| 42.0, |a, b| a + b);
+        assert!((total - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_filter_and_max_by_match_sequential() {
+        let v: Vec<i64> = (0..3_000).map(|i| (i * 7919) % 1_000).collect();
+        let run = |threads| {
+            with_thread_count(threads, || {
+                let count = v.par_iter().filter(|&&x| x % 3 == 0).count();
+                let max = v.par_iter().map(|&x| x).max_by(|a, b| a.cmp(b));
+                (count, max)
+            })
+        };
+        let seq_count = v.iter().filter(|&&x| x % 3 == 0).count();
+        let seq_max = v.iter().copied().max_by(|a, b| a.cmp(b));
+        for threads in [1, 4] {
+            assert_eq!(run(threads), (seq_count, seq_max));
+        }
+    }
+
+    #[test]
+    fn flat_map_preserves_order() {
+        let out: Vec<u32> = with_thread_count(4, || {
+            (0u32..1_000).into_par_iter().flat_map(|x| [x, x + 100_000]).collect()
+        });
+        let seq: Vec<u32> = (0u32..1_000).flat_map(|x| [x, x + 100_000]).collect();
+        assert_eq!(out, seq);
+    }
+
+    #[test]
+    fn par_iter_mut_for_each_mutates_every_element() {
+        let mut v: Vec<u64> = (0..10_000).collect();
+        with_thread_count(4, || v.par_iter_mut().for_each(|x| *x *= 2));
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn par_chunks_mut_for_each_sees_every_chunk() {
+        let mut v = vec![0u8; 1_000];
+        with_thread_count(4, || v.par_chunks_mut(7).for_each(|c| c.fill(1)));
+        assert!(v.iter().all(|&x| x == 1));
     }
 }
