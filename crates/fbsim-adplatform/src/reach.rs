@@ -114,19 +114,26 @@ impl<'w> AdsManagerApi<'w> {
         raw * gender_fraction(spec.gender()) * age_fraction(spec.age_range())
     }
 
-    /// The reported *Potential Reach* for a spec, floor applied.
-    pub fn potential_reach(&self, spec: &TargetingSpec) -> PotentialReach {
-        let true_reach = self.true_reach(spec);
+    /// Applies the era's reporting policy to an already-computed true
+    /// reach — the single place floor/advisory logic lives, shared by the
+    /// scalar and nested endpoints and by callers (the reach server's query
+    /// cache) that memoize the expensive `true_reach` separately from the
+    /// cheap reporting step.
+    pub fn report_potential(&self, true_reach: f64) -> PotentialReach {
         let floor = self.era.floor();
         let rounded = true_reach.round().max(0.0) as u64;
-        let floored = rounded < floor;
         PotentialReach {
             reported: rounded.max(floor),
-            floored,
+            floored: rounded < floor,
             // The advisory appears when the true audience sits under ~2× the
             // floor — narrow enough that FB nudges the advertiser to widen.
             too_narrow_warning: rounded < floor * 2,
         }
+    }
+
+    /// The reported *Potential Reach* for a spec, floor applied.
+    pub fn potential_reach(&self, spec: &TargetingSpec) -> PotentialReach {
+        self.report_potential(self.true_reach(spec))
     }
 
     /// Reach of every prefix of an interest sequence under a spec's
@@ -144,16 +151,7 @@ impl<'w> AdsManagerApi<'w> {
         engine
             .nested_reaches_in(interests, filter)
             .into_iter()
-            .map(|raw| {
-                let true_reach = raw * demographic;
-                let floor = self.era.floor();
-                let rounded = true_reach.round().max(0.0) as u64;
-                PotentialReach {
-                    reported: rounded.max(floor),
-                    floored: rounded < floor,
-                    too_narrow_warning: rounded < floor * 2,
-                }
-            })
+            .map(|raw| self.report_potential(raw * demographic))
             .collect()
     }
 }
@@ -250,6 +248,22 @@ mod tests {
         );
         assert!(spain_only < worldwide);
         assert!(spain_only > 0.0);
+    }
+
+    #[test]
+    fn report_potential_floor_boundaries() {
+        let api = AdsManagerApi::new(world(), ReportingEra::Early2017);
+        // Below the floor: masked and flagged.
+        let low = api.report_potential(3.2);
+        assert_eq!((low.reported, low.floored, low.too_narrow_warning), (20, true, true));
+        // Between floor and 2×floor: reported truthfully but still narrow.
+        let narrow = api.report_potential(25.0);
+        assert_eq!((narrow.reported, narrow.floored, narrow.too_narrow_warning), (25, false, true));
+        // Comfortably wide.
+        let wide = api.report_potential(1_000.4);
+        assert_eq!((wide.reported, wide.floored, wide.too_narrow_warning), (1_000, false, false));
+        // Negative/NaN-safe rounding clamps at zero before the floor.
+        assert_eq!(api.report_potential(-5.0).reported, 20);
     }
 
     #[test]

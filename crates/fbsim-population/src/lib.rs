@@ -56,5 +56,5 @@ pub use catalog::{Interest, InterestCatalog, InterestId, TopicId};
 pub use cohort::MaterializedUser;
 pub use config::WorldConfig;
 pub use countries::{CountryCode, TARGETING_UNIVERSE};
-pub use reach::ReachEngine;
+pub use reach::{ReachEngine, SweepState};
 pub use world::World;

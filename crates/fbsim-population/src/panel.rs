@@ -94,6 +94,10 @@ pub struct Panel {
     /// factor until the total realised audience mass matches the Fig.-2
     /// targets.
     budget_factor: f64,
+    /// Mutation generation: bumped every time the carriage model changes
+    /// (score recalibration, budget rescaling). Serving-layer caches key
+    /// their validity on this counter — see `reach-cache`.
+    generation: u64,
 }
 
 impl Panel {
@@ -139,6 +143,7 @@ impl Panel {
             scale: config.population as f64 / config.panel_size as f64,
             base_affinity: config.base_affinity as f32,
             budget_factor: 1.0,
+            generation: 0,
         };
         panel.recompute_alphas(catalog);
         panel
@@ -157,10 +162,20 @@ impl Panel {
         self.budget_factor
     }
 
+    /// The mutation generation: incremented by every
+    /// [`Panel::recompute_alphas`] (and hence by every score recalibration
+    /// or [`Panel::scale_budget_factor`] call). Two reads of the same reach
+    /// query are guaranteed identical while the generation is unchanged, so
+    /// query caches use it as their invalidation epoch.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Recomputes each user's effective taste weights and `α = n / W`
     /// against the current catalog scores. Must be called after every
     /// [`InterestCatalog::set_scores`].
     pub fn recompute_alphas(&mut self, catalog: &InterestCatalog) {
+        self.generation += 1;
         let base = self.base_affinity as f64;
         let total = catalog.total_score();
         debug_assert!(total > 0.0, "catalog score mass must be positive");

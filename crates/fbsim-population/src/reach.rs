@@ -90,6 +90,37 @@ pub struct ReachEngine<'a> {
     panel: &'a Panel,
 }
 
+/// The per-user running products of a partially evaluated nested sweep —
+/// the resumable state behind prefix-memoized [`ReachEngine::nested_reaches`]
+/// queries (see [`ReachEngine::sweep_begin`] / [`ReachEngine::sweep_extend`]).
+///
+/// One `f64` per panel user; filtered-out users sit at `0.0` and users whose
+/// product has underflowed the sweep's `1e-300` cutoff simply stop updating,
+/// exactly as in the one-shot sweep.
+#[derive(Debug, Clone)]
+pub struct SweepState {
+    products: Vec<f64>,
+    filter: CountryFilter,
+    depth: usize,
+}
+
+impl SweepState {
+    /// The country filter the sweep was started with.
+    pub fn filter(&self) -> CountryFilter {
+        self.filter
+    }
+
+    /// Number of interests folded in so far.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Heap footprint of the state in bytes (for cache capacity accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.products.len() * std::mem::size_of::<f64>()
+    }
+}
+
 /// Panel chunk size for rayon sweeps — big enough to amortise task overhead,
 /// small enough to parallelise test-scale panels. The chunk partition is
 /// independent of the thread count and the engine folds chunk partials in
@@ -214,6 +245,89 @@ impl<'a> ReachEngine<'a> {
                 },
             );
         sums.into_iter().map(|s| s * self.panel.scale()).collect()
+    }
+
+    /// Starts a resumable nested sweep restricted to `filter`: every
+    /// in-filter panel user begins with a running product of `1.0`, every
+    /// filtered-out user with `0.0`.
+    ///
+    /// Folding interests into the state with [`ReachEngine::sweep_extend`]
+    /// yields exactly the prefix reaches [`ReachEngine::nested_reaches_in`]
+    /// would compute — bit-identically, however the sequence is split
+    /// across extend calls — because the per-user multiply order, the chunk
+    /// partition and the chunk-order reduction are all identical. The state
+    /// is what a prefix-memoizing cache stores so a sweep extending an
+    /// already-seen prefix only pays for the tail.
+    pub fn sweep_begin(&self, filter: CountryFilter) -> SweepState {
+        let products = self
+            .panel
+            .users()
+            .iter()
+            .map(|user| if filter.contains(user.country) { 1.0 } else { 0.0 })
+            .collect();
+        SweepState { products, filter, depth: 0 }
+    }
+
+    /// Folds `tail` into a sweep, returning the scaled reach of each newly
+    /// covered prefix (element `k` = reach of the state's interests plus
+    /// `tail[..=k]`) and the advanced state. See [`ReachEngine::sweep_begin`]
+    /// for the bit-identity contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state was built over a different panel size, or if an
+    /// interest id is outside the catalog.
+    pub fn sweep_extend(&self, state: &SweepState, tail: &[InterestId]) -> (Vec<f64>, SweepState) {
+        let n = self.panel.len();
+        assert_eq!(state.products.len(), n, "sweep state does not match this panel");
+        if tail.is_empty() {
+            return (Vec::new(), state.clone());
+        }
+        let base = self.panel.base_affinity();
+        let params: Vec<(f64, crate::catalog::TopicId)> = tail
+            .iter()
+            .map(|&id| {
+                let i = self.catalog.interest(id);
+                (i.score, i.topic)
+            })
+            .collect();
+        let users = self.panel.users();
+        let nchunks = n.div_ceil(CHUNK);
+        // Same CHUNK partition as `nested_reaches_in`, and `collect`
+        // preserves chunk order, so folding the per-chunk partials below in
+        // that order reproduces its reduction tree exactly.
+        let per_chunk: Vec<(Vec<f64>, Vec<f64>)> = (0..nchunks)
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * CHUNK;
+                let hi = ((c + 1) * CHUNK).min(n);
+                let chunk = &users[lo..hi];
+                let mut slots = state.products[lo..hi].to_vec();
+                let mut acc = vec![0.0f64; params.len()];
+                for (k, &(score, topic)) in params.iter().enumerate() {
+                    let mut step = 0.0f64;
+                    for (slot, user) in slots.iter_mut().zip(chunk) {
+                        if *slot > 1e-300 {
+                            *slot *= user.carriage_probability(score, topic, base);
+                            step += *slot;
+                        }
+                    }
+                    acc[k] = step;
+                }
+                (acc, slots)
+            })
+            .collect();
+        let mut sums = vec![0.0f64; params.len()];
+        let mut products = Vec::with_capacity(n);
+        for (acc, slots) in per_chunk {
+            for (x, y) in sums.iter_mut().zip(&acc) {
+                *x += *y;
+            }
+            products.extend_from_slice(&slots);
+        }
+        let reaches = sums.into_iter().map(|s| s * self.panel.scale()).collect();
+        let next = SweepState { products, filter: state.filter, depth: state.depth + tail.len() };
+        (reaches, next)
     }
 
     /// The global-independence baseline: `Pop · Π (AS_i / Pop)` using the
@@ -391,5 +505,79 @@ mod tests {
         let (catalog, panel) = engine_fixture();
         let engine = ReachEngine::new(&catalog, &panel);
         assert!(engine.nested_reaches(&[]).is_empty());
+    }
+
+    #[test]
+    fn sweep_extend_bit_identical_to_one_shot_sweep() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        let ids: Vec<InterestId> = (0..14).map(|i| InterestId(i * 29 + 1)).collect();
+        for filter in [CountryFilter::ALL, CountryFilter::of(&[0, 3, 17])] {
+            let one_shot = engine.nested_reaches_in(&ids, filter);
+            // Every split point, including 0 (full extend) and len (no tail).
+            for split in 0..=ids.len() {
+                let state = engine.sweep_begin(filter);
+                let (head, state) = engine.sweep_extend(&state, &ids[..split]);
+                let (tail, state) = engine.sweep_extend(&state, &ids[split..]);
+                assert_eq!(state.depth(), ids.len());
+                let resumed: Vec<f64> = head.into_iter().chain(tail).collect();
+                assert_eq!(resumed.len(), one_shot.len());
+                for (k, (a, b)) in resumed.iter().zip(&one_shot).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "split {split}, prefix {k}: resumed {a} vs one-shot {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_extend_bit_identical_across_thread_counts() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        let ids: Vec<InterestId> = (0..10).map(|i| InterestId(i * 101)).collect();
+        let seq = rayon::with_thread_count(1, || {
+            let state = engine.sweep_begin(CountryFilter::ALL);
+            let (head, state) = engine.sweep_extend(&state, &ids[..6]);
+            let (tail, _) = engine.sweep_extend(&state, &ids[6..]);
+            head.into_iter().chain(tail).collect::<Vec<f64>>()
+        });
+        for threads in [2, 5] {
+            let par = rayon::with_thread_count(threads, || {
+                let state = engine.sweep_begin(CountryFilter::ALL);
+                let (head, state) = engine.sweep_extend(&state, &ids[..6]);
+                let (tail, _) = engine.sweep_extend(&state, &ids[6..]);
+                head.into_iter().chain(tail).collect::<Vec<f64>>()
+            });
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_empty_tail_is_identity() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        let state = engine.sweep_begin(CountryFilter::ALL);
+        let (reaches, next) = engine.sweep_extend(&state, &[]);
+        assert!(reaches.is_empty());
+        assert_eq!(next.depth(), 0);
+        assert_eq!(next.heap_bytes(), state.heap_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match this panel")]
+    fn sweep_state_panel_mismatch_panics() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        let state = SweepState {
+            products: vec![1.0; panel.len() + 1],
+            filter: CountryFilter::ALL,
+            depth: 0,
+        };
+        engine.sweep_extend(&state, &[InterestId(0)]);
     }
 }

@@ -69,6 +69,31 @@ impl World {
         &self.calibration
     }
 
+    /// The world's mutation generation, bumped by every change to the
+    /// carriage model ([`World::scale_budget_factor`], recalibration).
+    ///
+    /// Reach answers are a pure function of `(query, generation)`: any
+    /// cache keyed on a query is valid exactly as long as the generation it
+    /// was filled under is still current. The `reach-cache` crate uses this
+    /// as its invalidation epoch.
+    pub fn generation(&self) -> u64 {
+        self.panel.generation()
+    }
+
+    /// Rescales the panel's global assignment-budget factor by `ratio` and
+    /// refreshes the carriage model — the world-level mutation hook (the
+    /// real-platform analog: the MAU base shifting under a live reach
+    /// service). Bumps [`World::generation`], so epoch-keyed caches drop
+    /// their stale entries lazily.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not a positive finite number (see
+    /// [`Panel::scale_budget_factor`]).
+    pub fn scale_budget_factor(&mut self, ratio: f64) {
+        self.panel.scale_budget_factor(ratio, &self.catalog);
+    }
+
     /// A reach engine over this world.
     pub fn reach_engine(&self) -> ReachEngine<'_> {
         ReachEngine::new(&self.catalog, &self.panel)
@@ -141,6 +166,25 @@ mod tests {
                 interest.target_audience
             );
         }
+    }
+
+    #[test]
+    fn generation_bumps_on_mutation_and_changes_reach() {
+        let mut world = World::generate(WorldConfig::test_scale(4)).unwrap();
+        let gen0 = world.generation();
+        let before = world.reach_engine().single_reach(crate::catalog::InterestId(7));
+        world.scale_budget_factor(1.25);
+        assert!(world.generation() > gen0, "mutation must advance the generation");
+        let after = world.reach_engine().single_reach(crate::catalog::InterestId(7));
+        assert!(after > before, "larger budget factor must grow reach: {before} -> {after}");
+    }
+
+    #[test]
+    fn generation_stable_without_mutation() {
+        let world = World::generate(WorldConfig::test_scale(5)).unwrap();
+        let g = world.generation();
+        let _ = world.reach_engine().conjunction_reach(&[crate::catalog::InterestId(1)]);
+        assert_eq!(world.generation(), g, "queries must not advance the generation");
     }
 
     #[test]

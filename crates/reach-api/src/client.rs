@@ -9,7 +9,9 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-use crate::proto::{decode, encode, FrameCodec, ReachRequest, ReachResponse, PROTOCOL_VERSION};
+use reach_cache::CacheStats;
+
+use crate::proto::{decode, encode, FrameCodec, FrameError, ReachRequest, ReachResponse};
 
 /// Client-side errors.
 #[derive(Debug)]
@@ -20,8 +22,14 @@ pub enum ClientError {
     Server(String),
     /// Rate-limited beyond the retry budget.
     RateLimitExhausted,
-    /// The server sent an unparseable frame.
-    Protocol(String),
+    /// The server sent a malformed or oversized frame — a broken peer, not
+    /// a broken socket; the typed [`FrameError`] says which.
+    BadFrame(FrameError),
+    /// The server closed the connection while a response was pending.
+    Disconnected,
+    /// The server answered with a response kind the request cannot produce
+    /// (e.g. a scalar reach for a nested query) — a protocol bug.
+    UnexpectedResponse(&'static str),
 }
 
 impl std::fmt::Display for ClientError {
@@ -30,16 +38,34 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::RateLimitExhausted => write!(f, "rate limited beyond retry budget"),
-            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::BadFrame(e) => write!(f, "bad frame from server: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::UnexpectedResponse(kind) => {
+                write!(f, "unexpected response kind: {kind}")
+            }
         }
     }
 }
 
-impl std::error::Error for ClientError {}
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::BadFrame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
         ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::BadFrame(e)
     }
 }
 
@@ -96,18 +122,68 @@ impl ReachClient {
         locations: &[&str],
         interests: &[u32],
     ) -> Result<ClientReach, ClientError> {
-        let request = ReachRequest {
-            v: PROTOCOL_VERSION,
-            locations: locations.iter().map(|s| s.to_string()).collect(),
-            interests: interests.to_vec(),
-        };
+        let request = ReachRequest::scalar(
+            locations.iter().map(|s| s.to_string()).collect(),
+            interests.to_vec(),
+        );
+        match self.request(&request)? {
+            ReachResponse::Reach { reported, floored, too_narrow_warning } => {
+                Ok(ClientReach { reported, floored, too_narrow_warning })
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Queries the reach of **every prefix** of `interests` (in the given
+    /// order) in one round trip — the uniqueness pipeline's bulk query.
+    /// Element `k` of the result is the reach of `interests[..=k]`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; notably [`ClientError::Server`] when the
+    /// sequence repeats an interest (prefix order makes duplicates
+    /// meaningless rather than merely redundant).
+    pub fn nested_reach(
+        &mut self,
+        locations: &[&str],
+        interests: &[u32],
+    ) -> Result<Vec<ClientReach>, ClientError> {
+        let request = ReachRequest::nested(
+            locations.iter().map(|s| s.to_string()).collect(),
+            interests.to_vec(),
+        );
+        match self.request(&request)? {
+            ReachResponse::Nested { reaches } => Ok(reaches
+                .into_iter()
+                .map(|p| ClientReach {
+                    reported: p.reported,
+                    floored: p.floored,
+                    too_narrow_warning: p.too_narrow_warning,
+                })
+                .collect()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the server's query-cache statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn cache_stats(&mut self) -> Result<CacheStats, ClientError> {
+        match self.request(&ReachRequest::stats())? {
+            ReachResponse::Stats { stats } => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Sends one request, retrying through rate limits, and returns the
+    /// first substantive response.
+    fn request(&mut self, request: &ReachRequest) -> Result<ReachResponse, ClientError> {
         let mut retries = 0;
         loop {
-            self.stream.write_all(&encode(&request))?;
+            self.stream.write_all(&encode(request))?;
             match self.read_response()? {
-                ReachResponse::Reach { reported, floored, too_narrow_warning } => {
-                    return Ok(ClientReach { reported, floored, too_narrow_warning });
-                }
                 ReachResponse::RateLimited { retry_after_ms } => {
                     if retries >= self.max_retries {
                         return Err(ClientError::RateLimitExhausted);
@@ -120,6 +196,7 @@ impl ReachClient {
                     std::thread::sleep(wait);
                 }
                 ReachResponse::Error { message } => return Err(ClientError::Server(message)),
+                substantive => return Ok(substantive),
             }
         }
     }
@@ -127,23 +204,33 @@ impl ReachClient {
     fn read_response(&mut self) -> Result<ReachResponse, ClientError> {
         let mut buf = [0u8; 4096];
         loop {
-            if let Some(frame) =
-                self.codec.next_frame().map_err(|e| ClientError::Protocol(e.to_string()))?
-            {
-                return decode(&frame).map_err(|e| ClientError::Protocol(e.to_string()));
+            if let Some(frame) = self.codec.next_frame()? {
+                return Ok(decode(&frame)?);
             }
             let n = self.stream.read(&mut buf)?;
             if n == 0 {
-                return Err(ClientError::Protocol("server closed the connection".into()));
+                return Err(ClientError::Disconnected);
             }
             self.codec.feed(&buf[..n]);
         }
     }
 }
 
+/// Labels a response that arrived where it cannot belong.
+fn unexpected(response: ReachResponse) -> ClientError {
+    ClientError::UnexpectedResponse(match response {
+        ReachResponse::Reach { .. } => "reach",
+        ReachResponse::RateLimited { .. } => "rate_limited",
+        ReachResponse::Error { .. } => "error",
+        ReachResponse::Nested { .. } => "nested",
+        ReachResponse::Stats { .. } => "stats",
+    })
+}
+
 #[cfg(test)]
 mod tests {
     // Client behaviour is covered end-to-end (against a live server over
-    // loopback) in the crate's integration tests; unit tests here would
-    // need a socket anyway.
+    // loopback, including a misbehaving raw-TCP server for the BadFrame
+    // path) in the crate's integration tests; unit tests here would need a
+    // socket anyway.
 }

@@ -29,6 +29,6 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{ClientError, ReachClient};
-pub use proto::{ReachRequest, ReachResponse};
+pub use client::{ClientError, ClientReach, ReachClient};
+pub use proto::{ReachPoint, ReachRequest, ReachResponse};
 pub use server::{RateLimitConfig, ReachServer, ServerConfig};

@@ -23,6 +23,10 @@ pub const PROTOCOL_VERSION: u32 = 1;
 pub const MAX_FRAME: usize = 64 * 1024;
 
 /// A potential-reach query.
+///
+/// The `nested` and `stats` fields are optional extensions added after the
+/// first protocol release; absent keys deserialize as `None`, so version-1
+/// frames from older clients remain valid.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReachRequest {
     /// Protocol version (must equal [`PROTOCOL_VERSION`]).
@@ -31,6 +35,47 @@ pub struct ReachRequest {
     pub locations: Vec<String>,
     /// Interest ids forming the conjunction (0..=25).
     pub interests: Vec<u32>,
+    /// `Some(true)`: report the reach of **every prefix** of `interests`
+    /// in request order (the uniqueness pipeline's bulk query) via
+    /// [`ReachResponse::Nested`] instead of a single conjunction.
+    pub nested: Option<bool>,
+    /// `Some(true)`: ignore the query fields and return the server's cache
+    /// statistics via [`ReachResponse::Stats`].
+    pub stats: Option<bool>,
+}
+
+impl ReachRequest {
+    /// A scalar conjunction-reach query.
+    pub fn scalar(locations: Vec<String>, interests: Vec<u32>) -> Self {
+        Self { v: PROTOCOL_VERSION, locations, interests, nested: None, stats: None }
+    }
+
+    /// A nested prefix-sweep query (order of `interests` is significant).
+    pub fn nested(locations: Vec<String>, interests: Vec<u32>) -> Self {
+        Self { v: PROTOCOL_VERSION, locations, interests, nested: Some(true), stats: None }
+    }
+
+    /// A cache-statistics probe.
+    pub fn stats() -> Self {
+        Self {
+            v: PROTOCOL_VERSION,
+            locations: Vec::new(),
+            interests: Vec::new(),
+            nested: None,
+            stats: Some(true),
+        }
+    }
+}
+
+/// One reported prefix reach within a [`ReachResponse::Nested`] answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReachPoint {
+    /// Reported potential reach (floor applied).
+    pub reported: u64,
+    /// Whether the floor masked a smaller value.
+    pub floored: bool,
+    /// Whether the "audience too narrow" advisory applies.
+    pub too_narrow_warning: bool,
 }
 
 /// A server response.
@@ -56,6 +101,17 @@ pub enum ReachResponse {
     Error {
         /// Human-readable reason.
         message: String,
+    },
+    /// Successful nested (prefix-sweep) report: element `k` is the reach of
+    /// the first `k+1` interests of the request, floors applied.
+    Nested {
+        /// Per-prefix reported reaches, in request order.
+        reaches: Vec<ReachPoint>,
+    },
+    /// The server's query-cache statistics snapshot.
+    Stats {
+        /// Counters and residency at the time of the request.
+        stats: reach_cache::CacheStats,
     },
 }
 
@@ -161,11 +217,7 @@ mod tests {
     use super::*;
 
     fn request() -> ReachRequest {
-        ReachRequest {
-            v: PROTOCOL_VERSION,
-            locations: vec!["ES".into(), "FR".into()],
-            interests: vec![1, 2, 3],
-        }
+        ReachRequest::scalar(vec!["ES".into(), "FR".into()], vec![1, 2, 3])
     }
 
     #[test]
@@ -182,11 +234,42 @@ mod tests {
             ReachResponse::Reach { reported: 1_000, floored: true, too_narrow_warning: true },
             ReachResponse::RateLimited { retry_after_ms: 250 },
             ReachResponse::Error { message: "nope".into() },
+            ReachResponse::Nested {
+                reaches: vec![
+                    ReachPoint { reported: 500, floored: false, too_narrow_warning: false },
+                    ReachPoint { reported: 20, floored: true, too_narrow_warning: true },
+                ],
+            },
         ] {
             let frame = encode(&response);
             let back: ReachResponse = decode(&frame[..frame.len() - 1]).unwrap();
             assert_eq!(back, response);
         }
+    }
+
+    #[test]
+    fn version_one_frames_without_extension_keys_still_decode() {
+        // Wire backward compatibility: the original protocol-1 request shape
+        // (no `nested`/`stats` keys) must keep decoding, with the extension
+        // fields defaulting to `None`.
+        let raw = br#"{"v":1,"locations":["US"],"interests":[0,5]}"#;
+        let request: ReachRequest = decode(raw).unwrap();
+        assert_eq!(request.v, 1);
+        assert_eq!(request.interests, vec![0, 5]);
+        assert_eq!(request.nested, None);
+        assert_eq!(request.stats, None);
+    }
+
+    #[test]
+    fn request_constructors_set_extension_flags() {
+        assert_eq!(ReachRequest::scalar(vec!["US".into()], vec![1]).nested, None);
+        assert_eq!(ReachRequest::nested(vec!["US".into()], vec![1]).nested, Some(true));
+        let stats = ReachRequest::stats();
+        assert_eq!(stats.stats, Some(true));
+        assert!(stats.interests.is_empty());
+        let frame = encode(&stats);
+        let back: ReachRequest = decode(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(back, stats);
     }
 
     #[test]

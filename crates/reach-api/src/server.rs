@@ -15,10 +15,14 @@ use std::time::{Duration, Instant};
 use fbsim_adplatform::reach::{AdsManagerApi, ReportingEra};
 use fbsim_adplatform::targeting::TargetingSpec;
 use fbsim_population::countries::CountryCode;
+use fbsim_population::reach::CountryFilter;
 use fbsim_population::{InterestId, World};
 use parking_lot::Mutex;
+use reach_cache::{key::canonical_interests, CacheConfig, ReachCache};
 
-use crate::proto::{decode, encode, FrameCodec, ReachRequest, ReachResponse, PROTOCOL_VERSION};
+use crate::proto::{
+    decode, encode, FrameCodec, ReachPoint, ReachRequest, ReachResponse, PROTOCOL_VERSION,
+};
 
 /// Token-bucket rate-limit settings (per connection).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,11 +76,19 @@ pub struct ServerConfig {
     pub era: ReportingEra,
     /// Per-connection rate limit.
     pub rate_limit: RateLimitConfig,
+    /// Query-cache knobs. The default honours the `UOF_REACH_CACHE*`
+    /// environment variables (set `UOF_REACH_CACHE=0` to disable caching);
+    /// explicit construction pins the behaviour regardless of environment.
+    pub cache: CacheConfig,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { era: ReportingEra::Early2017, rate_limit: RateLimitConfig::default() }
+        Self {
+            era: ReportingEra::Early2017,
+            rate_limit: RateLimitConfig::default(),
+            cache: CacheConfig::from_env(),
+        }
     }
 }
 
@@ -123,6 +135,7 @@ pub struct ReachServer {
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     requests_served: Arc<AtomicU64>,
+    cache: Arc<ReachCache>,
 }
 
 impl ReachServer {
@@ -130,12 +143,17 @@ impl ReachServer {
     ///
     /// # Errors
     ///
-    /// [`std::io::ErrorKind::InvalidInput`] when the rate-limit config is
-    /// unusable (see [`RateLimitConfig::validate`]); otherwise propagates
-    /// socket errors from binding.
+    /// [`std::io::ErrorKind::InvalidInput`] when the rate-limit or cache
+    /// config is unusable (see [`RateLimitConfig::validate`] and
+    /// [`CacheConfig::validate`]); otherwise propagates socket errors from
+    /// binding.
     pub fn start(world: Arc<World>, config: ServerConfig) -> std::io::Result<Self> {
         config
             .rate_limit
+            .validate()
+            .map_err(|m| std::io::Error::new(std::io::ErrorKind::InvalidInput, m))?;
+        config
+            .cache
             .validate()
             .map_err(|m| std::io::Error::new(std::io::ErrorKind::InvalidInput, m))?;
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
@@ -143,8 +161,12 @@ impl ReachServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let requests_served = Arc::new(AtomicU64::new(0));
+        // One cache shared by every connection thread — cross-connection
+        // reuse and single-flight deduplication are the whole point.
+        let cache = Arc::new(ReachCache::new(config.cache));
         let accept_stop = Arc::clone(&stop);
         let accept_served = Arc::clone(&requests_served);
+        let accept_cache = Arc::clone(&cache);
         let handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
         let accept_handles = Arc::clone(&handles);
@@ -155,8 +177,10 @@ impl ReachServer {
                         let world = Arc::clone(&world);
                         let stop = Arc::clone(&accept_stop);
                         let served = Arc::clone(&accept_served);
+                        let cache = Arc::clone(&accept_cache);
                         let handle = std::thread::spawn(move || {
-                            let _ = handle_connection(stream, &world, config, &stop, &served);
+                            let _ =
+                                handle_connection(stream, &world, &cache, config, &stop, &served);
                         });
                         accept_handles.lock().push(handle);
                     }
@@ -171,7 +195,7 @@ impl ReachServer {
                 let _ = handle.join();
             }
         });
-        Ok(Self { addr, stop, accept_thread: Some(accept_thread), requests_served })
+        Ok(Self { addr, stop, accept_thread: Some(accept_thread), requests_served, cache })
     }
 
     /// The bound address clients should connect to.
@@ -182,6 +206,12 @@ impl ReachServer {
     /// Requests successfully served so far.
     pub fn requests_served(&self) -> u64 {
         self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// The shared query cache (in-process observability; remote clients use
+    /// a [`ReachRequest::stats`] probe instead).
+    pub fn cache(&self) -> &ReachCache {
+        &self.cache
     }
 
     /// Stops accepting and joins the accept thread. Idempotent.
@@ -199,10 +229,20 @@ impl Drop for ReachServer {
     }
 }
 
+impl std::fmt::Debug for ReachServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReachServer")
+            .field("addr", &self.addr)
+            .field("requests_served", &self.requests_served())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Serves one connection until EOF, error, or server shutdown.
 fn handle_connection(
     mut stream: TcpStream,
     world: &World,
+    cache: &ReachCache,
     config: ServerConfig,
     stop: &AtomicBool,
     served: &AtomicU64,
@@ -246,8 +286,11 @@ fn handle_connection(
                 Ok(()) => match decode::<ReachRequest>(&frame) {
                     Err(e) => ReachResponse::Error { message: e.to_string() },
                     Ok(request) => {
-                        let r = answer(&api, &request);
-                        if matches!(r, ReachResponse::Reach { .. }) {
+                        let r = answer(&api, cache, &request);
+                        if !matches!(
+                            r,
+                            ReachResponse::Error { .. } | ReachResponse::RateLimited { .. }
+                        ) {
                             served.fetch_add(1, Ordering::Relaxed);
                         }
                         r
@@ -260,12 +303,27 @@ fn handle_connection(
 }
 
 /// Validates a request and computes the reported reach.
-fn answer(api: &AdsManagerApi<'_>, request: &ReachRequest) -> ReachResponse {
+///
+/// Scalar queries are **canonicalized server-side** (interests sorted and
+/// deduplicated) before touching the spec or the engine: permuted or
+/// duplicated spellings of one audience are the same query, share one cache
+/// entry, and — because the engine then evaluates the same interest order —
+/// report bit-identical values. Nested queries are order-significant and
+/// never reordered; duplicates there are rejected by spec validation.
+fn answer(api: &AdsManagerApi<'_>, cache: &ReachCache, request: &ReachRequest) -> ReachResponse {
     if request.v != PROTOCOL_VERSION {
         return ReachResponse::Error {
             message: format!("unsupported protocol version {}", request.v),
         };
     }
+    // Reconcile the cache with the world's mutation generation before every
+    // answer: one atomic swap when nothing changed, an epoch bump when the
+    // world moved under a long-lived server.
+    cache.sync_generation(api.world().generation());
+    if request.stats == Some(true) {
+        return ReachResponse::Stats { stats: cache.stats() };
+    }
+    let nested = request.nested == Some(true);
     let mut builder = TargetingSpec::builder();
     for code in &request.locations {
         let bytes = code.as_bytes();
@@ -274,7 +332,14 @@ fn answer(api: &AdsManagerApi<'_>, request: &ReachRequest) -> ReachResponse {
         }
         builder = builder.location(CountryCode([bytes[0], bytes[1]]));
     }
-    builder = builder.interests(request.interests.iter().map(|&i| InterestId(i)));
+    let interests: Vec<u32> = if nested {
+        // Prefix order is the answer's meaning; spec validation still
+        // rejects duplicates and over-long sequences below.
+        request.interests.clone()
+    } else {
+        canonical_interests(&request.interests)
+    };
+    builder = builder.interests(interests.iter().map(|&i| InterestId(i)));
     let spec = match builder.build() {
         Ok(spec) => spec,
         Err(e) => return ReachResponse::Error { message: e.to_string() },
@@ -285,7 +350,29 @@ fn answer(api: &AdsManagerApi<'_>, request: &ReachRequest) -> ReachResponse {
             return ReachResponse::Error { message: format!("unknown interest {}", id.0) };
         }
     }
-    let reach = api.potential_reach(&spec);
+    let filter = CountryFilter::of(&spec.location_indices());
+    if nested {
+        let engine = api.world().reach_engine();
+        let reaches = cache
+            .nested_reaches_in(&engine, spec.interests(), filter)
+            .into_iter()
+            .map(|raw| {
+                let point = api.report_potential(raw);
+                ReachPoint {
+                    reported: point.reported,
+                    floored: point.floored,
+                    too_narrow_warning: point.too_narrow_warning,
+                }
+            })
+            .collect();
+        return ReachResponse::Nested { reaches };
+    }
+    // The expensive true-reach evaluation is memoized; the cheap reporting
+    // step (floor + advisory) is applied to the cached value, so a cached
+    // answer is bit-identical to an uncached one.
+    let true_reach =
+        cache.reach(spec.interests(), filter, spec.age_range(), || api.true_reach(&spec));
+    let reach = api.report_potential(true_reach);
     ReachResponse::Reach {
         reported: reach.reported,
         floored: reach.floored,

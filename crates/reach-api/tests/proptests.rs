@@ -10,7 +10,7 @@ proptest! {
         locations in prop::collection::vec("[A-Z]{2}", 0..10),
         interests in prop::collection::vec(any::<u32>(), 0..30),
     ) {
-        let request = ReachRequest { v, locations, interests };
+        let request = ReachRequest { v, locations, interests, nested: None, stats: None };
         let frame = encode(&request);
         let back: ReachRequest = decode(&frame[..frame.len() - 1]).unwrap();
         prop_assert_eq!(back, request);
@@ -24,7 +24,13 @@ proptest! {
         let mut wire = Vec::new();
         let originals: Vec<ReachRequest> = requests
             .into_iter()
-            .map(|interests| ReachRequest { v: 1, locations: vec!["US".into()], interests })
+            .map(|interests| ReachRequest {
+                v: 1,
+                locations: vec!["US".into()],
+                interests,
+                nested: None,
+                stats: None,
+            })
             .collect();
         for r in &originals {
             wire.extend(encode(r));

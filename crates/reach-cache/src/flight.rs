@@ -1,0 +1,149 @@
+//! The single-flight latch: one computation, many subscribers.
+//!
+//! When several connections ask the cache for the same missing key at once,
+//! exactly one (the *leader*) runs the reach computation; the rest block on
+//! a [`Flight`] and receive the leader's value. This is the `singleflight`
+//! idiom from Go's groupcache, rebuilt on `std::sync::Condvar` (the vendored
+//! `parking_lot` stand-in has no condition variable).
+//!
+//! A flight ends in one of two states: **done** (value published) or
+//! **abandoned** (the leader panicked or gave up). Waiters observing an
+//! abandoned flight get `None` and are expected to retry the cache lookup —
+//! one of them will become the next leader.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Lifecycle of a flight.
+#[derive(Debug)]
+enum State<V> {
+    /// The leader is still computing.
+    Pending,
+    /// The leader published a value.
+    Done(V),
+    /// The leader unwound without publishing; waiters must retry.
+    Abandoned,
+}
+
+/// A one-shot broadcast cell for a value under computation.
+#[derive(Debug)]
+pub struct Flight<V> {
+    state: Mutex<State<V>>,
+    arrived: Condvar,
+}
+
+/// Locks a `std` mutex, shrugging off poisoning (parking_lot semantics: a
+/// panicking holder does not corrupt a `State`, it just never publishes).
+fn lock<V>(state: &Mutex<State<V>>) -> MutexGuard<'_, State<V>> {
+    match state.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl<V> Flight<V> {
+    /// A pending flight.
+    pub fn new() -> Self {
+        Self { state: Mutex::new(State::Pending), arrived: Condvar::new() }
+    }
+
+    /// Publishes the leader's value and wakes every waiter. A flight is
+    /// completed at most once; later calls on a settled flight are ignored.
+    pub fn complete(&self, value: V) {
+        let mut guard = lock(&self.state);
+        if matches!(*guard, State::Pending) {
+            *guard = State::Done(value);
+            self.arrived.notify_all();
+        }
+    }
+
+    /// Marks the flight abandoned (leader unwound) and wakes every waiter.
+    /// Ignored once the flight has settled.
+    pub fn abandon(&self) {
+        let mut guard = lock(&self.state);
+        if matches!(*guard, State::Pending) {
+            *guard = State::Abandoned;
+            self.arrived.notify_all();
+        }
+    }
+}
+
+impl<V: Clone> Flight<V> {
+    /// Blocks until the flight settles: `Some(value)` when the leader
+    /// published, `None` when it abandoned (caller should retry the lookup).
+    pub fn wait(&self) -> Option<V> {
+        let mut guard = lock(&self.state);
+        loop {
+            match &*guard {
+                State::Done(value) => return Some(value.clone()),
+                State::Abandoned => return None,
+                State::Pending => {
+                    guard = match self.arrived.wait(guard) {
+                        Ok(next) => next,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl<V> Default for Flight<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn wait_after_complete_returns_immediately() {
+        let flight = Flight::new();
+        flight.complete(7u32);
+        assert_eq!(flight.wait(), Some(7));
+        // Idempotent: further settles are ignored.
+        flight.complete(9);
+        flight.abandon();
+        assert_eq!(flight.wait(), Some(7));
+    }
+
+    #[test]
+    fn wait_after_abandon_returns_none() {
+        let flight: Flight<u32> = Flight::new();
+        flight.abandon();
+        assert_eq!(flight.wait(), None);
+        flight.complete(3);
+        assert_eq!(flight.wait(), None, "abandoned flights stay abandoned");
+    }
+
+    #[test]
+    fn complete_wakes_blocked_waiters() {
+        let flight = Arc::new(Flight::new());
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let flight = Arc::clone(&flight);
+                std::thread::spawn(move || flight.wait())
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        flight.complete(42u64);
+        for handle in waiters {
+            assert_eq!(handle.join().unwrap(), Some(42));
+        }
+    }
+
+    #[test]
+    fn abandon_wakes_blocked_waiters() {
+        let flight: Arc<Flight<u64>> = Arc::new(Flight::new());
+        let waiter = {
+            let flight = Arc::clone(&flight);
+            std::thread::spawn(move || flight.wait())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        flight.abandon();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,290 @@
+//! An intrusive-list LRU map with O(1) get / insert / evict.
+//!
+//! Nodes live in a slab (`Vec<Node>`) and chain through `prev`/`next`
+//! indices; the hash map points keys at slab slots. No unsafe, no pointer
+//! juggling — indices only, with `NIL = usize::MAX` as the list terminator.
+//! Vacated slots keep their `Node` but hold `None` until reuse, so values
+//! can be moved out without a `Default` bound. Deterministic by
+//! construction: the [`crate::key::Fnv1a`] hasher is seed-free and eviction
+//! is strictly least-recently-used.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash};
+
+use crate::key::Fnv1a;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node<K, V> {
+    key: K,
+    /// `Some` while the slot is live, `None` once freed (awaiting reuse).
+    value: Option<V>,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded map evicting the least-recently-used entry on overflow.
+#[derive(Debug)]
+pub struct LruMap<K, V> {
+    map: HashMap<K, usize, BuildHasherDefault<Fnv1a>>,
+    slab: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V> LruMap<K, V> {
+    /// An empty map holding at most `capacity` entries (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            map: HashMap::default(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Unlinks slot `idx` from the recency list.
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    /// Links slot `idx` at the head (most-recent end).
+    fn link_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        if idx != self.head {
+            self.unlink(idx);
+            self.link_front(idx);
+        }
+        self.slab[idx].value.as_ref()
+    }
+
+    /// Looks up `key` without touching recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).and_then(|&idx| self.slab[idx].value.as_ref())
+    }
+
+    /// Inserts (or replaces) `key → value` as most-recently-used. Returns
+    /// the evicted least-recently-used entry when the insert pushed the map
+    /// over capacity.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = Some(value);
+            if idx != self.head {
+                self.unlink(idx);
+                self.link_front(idx);
+            }
+            return None;
+        }
+        let evicted = if self.map.len() >= self.capacity { self.pop_lru() } else { None };
+        let node = Node { key: key.clone(), value: Some(value), prev: NIL, next: NIL };
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = node;
+                slot
+            }
+            None => {
+                self.slab.push(node);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.link_front(idx);
+        evicted
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        self.free.push(idx);
+        self.slab[idx].value.take()
+    }
+
+    /// Evicts the least-recently-used entry, if any.
+    fn pop_lru(&mut self) -> Option<(K, V)> {
+        let idx = self.tail;
+        if idx == NIL {
+            return None;
+        }
+        self.unlink(idx);
+        self.free.push(idx);
+        let key = self.slab[idx].key.clone();
+        self.map.remove(&key);
+        self.slab[idx].value.take().map(|value| (key, value))
+    }
+
+    /// Drops every entry and releases the slab.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys_in_lru_order(map: &LruMap<u32, u32>) -> Vec<u32> {
+        // Walk tail → head (least → most recent) through the index links.
+        let mut out = Vec::new();
+        let mut idx = map.tail;
+        while idx != NIL {
+            out.push(map.slab[idx].key);
+            idx = map.slab[idx].prev;
+        }
+        out
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut lru = LruMap::new(4);
+        assert!(lru.is_empty());
+        assert_eq!(lru.insert(1, 10), None);
+        assert_eq!(lru.insert(2, 20), None);
+        assert_eq!(lru.get(&1), Some(&10));
+        assert_eq!(lru.get(&3), None);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = LruMap::new(3);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.insert(3, 30);
+        // Touch 1, making 2 the LRU.
+        assert_eq!(lru.get(&1), Some(&10));
+        let evicted = lru.insert(4, 40);
+        assert_eq!(evicted, Some((2, 20)));
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(keys_in_lru_order(&lru), vec![3, 1, 4]);
+    }
+
+    #[test]
+    fn peek_does_not_touch_recency() {
+        let mut lru = LruMap::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.peek(&1), Some(&10));
+        // 1 stays LRU despite the peek, so it is the one evicted.
+        assert_eq!(lru.insert(3, 30), Some((1, 10)));
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_recency_without_evicting() {
+        let mut lru = LruMap::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.insert(1, 11), None);
+        assert_eq!(lru.get(&1), Some(&11));
+        assert_eq!(lru.insert(3, 30), Some((2, 20)), "2 became LRU after 1's refresh");
+    }
+
+    #[test]
+    fn remove_frees_slot_for_reuse() {
+        let mut lru = LruMap::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.remove(&1), Some(10));
+        assert_eq!(lru.remove(&1), None);
+        assert_eq!(lru.len(), 1);
+        // Slot reuse: slab does not grow past capacity.
+        lru.insert(3, 30);
+        lru.insert(4, 40);
+        assert!(lru.slab.len() <= 3, "slab reuses freed slots: {}", lru.slab.len());
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn single_capacity_thrashes_correctly() {
+        let mut lru = LruMap::new(1);
+        assert_eq!(lru.insert(1, 10), None);
+        assert_eq!(lru.insert(2, 20), Some((1, 10)));
+        assert_eq!(lru.insert(3, 30), Some((2, 20)));
+        assert_eq!(lru.get(&3), Some(&30));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let lru: LruMap<u32, u32> = LruMap::new(0);
+        assert_eq!(lru.capacity(), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut lru = LruMap::new(4);
+        for i in 0..4 {
+            lru.insert(i, i);
+        }
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&0), None);
+        lru.insert(9, 90);
+        assert_eq!(lru.get(&9), Some(&90));
+    }
+
+    #[test]
+    fn heavy_churn_keeps_list_consistent() {
+        let mut lru = LruMap::new(8);
+        for i in 0..1_000u32 {
+            lru.insert(i % 13, i);
+            if i % 3 == 0 {
+                let _ = lru.get(&(i % 7));
+            }
+            if i % 11 == 0 {
+                let _ = lru.remove(&(i % 5));
+            }
+            assert!(lru.len() <= 8);
+            assert_eq!(keys_in_lru_order(&lru).len(), lru.len());
+        }
+    }
+}

@@ -3,9 +3,12 @@
 #
 #   scripts/check.sh          # fmt check + lint + release build + tests
 #
-# Tests run twice: once strictly sequentially (UOF_THREADS=1) and once at
-# the default thread count, so a scheduling-dependent regression in the
-# parallel pipeline cannot hide behind either configuration.
+# Tests run three times: once strictly sequentially (UOF_THREADS=1), once
+# at the default thread count — so a scheduling-dependent regression in the
+# parallel pipeline cannot hide behind either configuration — and once with
+# the reach query cache disabled (UOF_REACH_CACHE=0), so nothing silently
+# depends on cached answers. Tests that assert cache behaviour construct
+# explicit cache configs and are immune to the sweep.
 #
 # Each step fails fast; run from anywhere inside the repo.
 set -euo pipefail
@@ -26,5 +29,8 @@ UOF_THREADS=1 cargo test -q
 
 echo "==> cargo test -q (default thread count)"
 cargo test -q
+
+echo "==> cargo test -q (UOF_REACH_CACHE=0, query cache disabled)"
+UOF_REACH_CACHE=0 cargo test -q
 
 echo "==> all checks passed"

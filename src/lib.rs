@@ -16,4 +16,5 @@ pub use fbsim_population as population;
 pub use fbsim_stats as stats;
 pub use nanotarget;
 pub use reach_api;
+pub use reach_cache;
 pub use uniqueness;

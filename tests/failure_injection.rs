@@ -48,6 +48,7 @@ fn rate_limit_exhaustion_surfaces_as_error() {
             era: ReportingEra::Early2017,
             // A bucket that effectively never refills.
             rate_limit: RateLimitConfig { capacity: 1.0, refill_per_second: 0.0001 },
+            ..ServerConfig::default()
         },
     )
     .unwrap();

@@ -35,3 +35,63 @@ fn networked_collection_matches_in_process() {
     }
     assert_eq!(server.requests_served(), sequence.len() as u64);
 }
+
+#[test]
+fn cached_and_uncached_servers_agree_over_sockets() {
+    // Two servers over one world — the query cache pinned on for one and
+    // off for the other (explicit configs, immune to `UOF_REACH_CACHE`).
+    // Every answer must agree, including repeats the cached server serves
+    // from memory, because a cached reach is bit-identical to a recomputed
+    // one before the floor is applied.
+    use unique_on_facebook::reach_cache::CacheConfig;
+    let world = Arc::new(World::generate(WorldConfig::test_scale(31)).unwrap());
+    let cached = ReachServer::start(
+        Arc::clone(&world),
+        ServerConfig { cache: CacheConfig::default(), ..ServerConfig::default() },
+    )
+    .unwrap();
+    let uncached = ReachServer::start(
+        Arc::clone(&world),
+        ServerConfig { cache: CacheConfig::disabled(), ..ServerConfig::default() },
+    )
+    .unwrap();
+    let mut on = ReachClient::connect(cached.addr()).unwrap();
+    let mut off = ReachClient::connect(uncached.addr()).unwrap();
+
+    let user = world.materializer().sample_cohort(1, 8).pop().unwrap();
+    let sequence: Vec<u32> = user.interests.iter().take(10).map(|i| i.0).collect();
+    let locations = ["US", "ES", "FR", "BR", "MX"];
+    for n in 1..=sequence.len() {
+        let first = on.potential_reach(&locations, &sequence[..n]).unwrap();
+        let repeat = on.potential_reach(&locations, &sequence[..n]).unwrap();
+        let fresh = off.potential_reach(&locations, &sequence[..n]).unwrap();
+        assert_eq!(first, repeat, "cached repeat diverged at n={n}");
+        assert_eq!(first, fresh, "cached vs uncached diverged at n={n}");
+    }
+
+    let stats = on.cache_stats().unwrap();
+    assert!(stats.enabled && stats.hits > 0, "repeats must hit the cache: {stats:?}");
+    assert!(!off.cache_stats().unwrap().enabled);
+}
+
+#[test]
+fn nested_protocol_collects_every_prefix_in_one_round_trip() {
+    // The paper's bulk collection: one nested request returns the reach of
+    // every prefix of the interest sequence, identical to issuing the
+    // scalar queries one by one.
+    let world = Arc::new(World::generate(WorldConfig::test_scale(31)).unwrap());
+    let server = ReachServer::start(Arc::clone(&world), ServerConfig::default()).unwrap();
+    let mut client = ReachClient::connect(server.addr()).unwrap();
+
+    let user = world.materializer().sample_cohort(1, 5).pop().unwrap();
+    let sequence: Vec<u32> = user.interests.iter().take(10).map(|i| i.0).collect();
+    let locations = ["US", "ES"];
+
+    let bulk = client.nested_reach(&locations, &sequence).unwrap();
+    assert_eq!(bulk.len(), sequence.len());
+    for (n, point) in bulk.iter().enumerate() {
+        let scalar = client.potential_reach(&locations, &sequence[..=n]).unwrap();
+        assert_eq!(*point, scalar, "nested prefix {n} diverged from scalar query");
+    }
+    assert!(bulk.windows(2).all(|w| w[1].reported <= w[0].reported));
+}
