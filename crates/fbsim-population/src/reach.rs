@@ -153,6 +153,11 @@ impl<'a> ReachEngine<'a> {
     /// Expected audience of the conjunction of `ids` restricted to the
     /// countries in `filter`.
     pub fn conjunction_reach_in(&self, ids: &[InterestId], filter: CountryFilter) -> f64 {
+        let _span = uof_telemetry::span!(
+            "engine.conjunction_reach",
+            interests = ids.len(),
+            countries = filter.len(),
+        );
         let base = self.panel.base_affinity();
         let params: Vec<(f64, crate::catalog::TopicId)> = ids
             .iter()
@@ -199,6 +204,11 @@ impl<'a> ReachEngine<'a> {
         if ids.is_empty() {
             return Vec::new();
         }
+        let _span = uof_telemetry::span!(
+            "engine.nested_reaches",
+            interests = ids.len(),
+            countries = filter.len(),
+        );
         let base = self.panel.base_affinity();
         let params: Vec<(f64, crate::catalog::TopicId)> = ids
             .iter()
@@ -283,6 +293,8 @@ impl<'a> ReachEngine<'a> {
         if tail.is_empty() {
             return (Vec::new(), state.clone());
         }
+        let _span =
+            uof_telemetry::span!("engine.sweep_extend", depth = state.depth(), tail = tail.len(),);
         let base = self.panel.base_affinity();
         let params: Vec<(f64, crate::catalog::TopicId)> = tail
             .iter()

@@ -157,7 +157,10 @@ pub fn run_experiment(
     config: &ExperimentConfig,
 ) -> Result<ExperimentResult, PlanError> {
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7A26E7);
-    let plan = ExperimentPlan::build(targets, &mut rng)?;
+    let plan = {
+        let _span = uof_telemetry::span!("nanotarget.plan", targets = targets.len());
+        ExperimentPlan::build(targets, &mut rng)?
+    };
     // The experiment ran in late 2020: the Post2018 reporting era (the floor
     // does not matter for delivery, only for what the advertiser sees).
     let api = AdsManagerApi::new(world, ReportingEra::Post2018);
@@ -166,13 +169,26 @@ pub fn run_experiment(
     let mut rows = Vec::with_capacity(plan.campaigns.len());
 
     for campaign in &plan.campaigns {
-        let id = manager
-            .launch(&mut rng, campaign.spec.clone(), true)
-            // lint:allow(no-unwrap) — invariant: CurrentFbPolicy accepts every spec by definition
-            .expect("CurrentFbPolicy never rejects");
-        // lint:allow(no-unwrap) — invariant: the campaign was launched two lines above
-        let report = manager.dashboard(id).expect("active campaign has a report").clone();
-        simulate_clicks(&mut click_log, campaign, &report, config, &mut rng);
+        let _campaign_span = uof_telemetry::span!(
+            "nanotarget.campaign",
+            user = campaign.user_index,
+            interests = campaign.interest_count,
+        );
+        let (id, report) = {
+            let _span = uof_telemetry::span!("nanotarget.launch");
+            let id = manager
+                .launch(&mut rng, campaign.spec.clone(), true)
+                // lint:allow(no-unwrap) — invariant: CurrentFbPolicy accepts every spec by definition
+                .expect("CurrentFbPolicy never rejects");
+            // lint:allow(no-unwrap) — invariant: the campaign was launched two lines above
+            let report = manager.dashboard(id).expect("active campaign has a report").clone();
+            (id, report)
+        };
+        {
+            let _span = uof_telemetry::span!("nanotarget.simulate_clicks");
+            simulate_clicks(&mut click_log, campaign, &report, config, &mut rng);
+        }
+        let _span = uof_telemetry::span!("nanotarget.validate");
         let snapshot = report
             .target_seen
             .then(|| WhyAmISeeingThis::for_campaign(id, &campaign.spec, world.catalog()));
@@ -184,6 +200,7 @@ pub fn run_experiment(
             snapshot.as_ref(),
         );
         manager.stop(id);
+        drop(_span);
         rows.push(Table2Row {
             user_index: campaign.user_index,
             interest_count: campaign.interest_count,

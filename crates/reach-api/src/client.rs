@@ -10,6 +10,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use reach_cache::CacheStats;
+use uof_telemetry::RegistrySnapshot;
 
 use crate::proto::{decode, encode, FrameCodec, FrameError, ReachRequest, ReachResponse};
 
@@ -177,6 +178,21 @@ impl ReachClient {
         }
     }
 
+    /// Fetches the server's full telemetry registry dump: request
+    /// counters, the in-flight gauge, per-opcode latency histograms, and
+    /// the mirrored `reach_cache.*` view. Empty (but well-formed) when the
+    /// server runs with telemetry disabled.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn telemetry_snapshot(&mut self) -> Result<RegistrySnapshot, ClientError> {
+        match self.request(&ReachRequest::stats_snapshot())? {
+            ReachResponse::StatsSnapshot { registry } => Ok(registry),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Sends one request, retrying through rate limits, and returns the
     /// first substantive response.
     fn request(&mut self, request: &ReachRequest) -> Result<ReachResponse, ClientError> {
@@ -224,6 +240,7 @@ fn unexpected(response: ReachResponse) -> ClientError {
         ReachResponse::Error { .. } => "error",
         ReachResponse::Nested { .. } => "nested",
         ReachResponse::Stats { .. } => "stats",
+        ReachResponse::StatsSnapshot { .. } => "stats_snapshot",
     })
 }
 

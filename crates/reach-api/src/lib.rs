@@ -17,6 +17,14 @@
 //! * [`client`] — a blocking client with exponential backoff on
 //!   rate-limit responses.
 //!
+//! The server is instrumented through `uof-telemetry`: per-opcode request
+//! counters and latency histograms plus an in-flight gauge, recorded into
+//! the process-global registry (or a private instance pinned via
+//! [`ServerConfig::telemetry`]) and interrogable over the wire with the
+//! `StatsSnapshot` opcode / [`ReachClient::telemetry_snapshot`].
+//! Telemetry is observation-only: reported reaches are bit-identical with
+//! it disabled, enabled, or tracing.
+//!
 //! Synchronous by design: the workload is a modest number of long-lived
 //! connections doing CPU-bound reach computations, which the async
 //! networking guides themselves classify as a case where an async runtime

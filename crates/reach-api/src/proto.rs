@@ -24,9 +24,9 @@ pub const MAX_FRAME: usize = 64 * 1024;
 
 /// A potential-reach query.
 ///
-/// The `nested` and `stats` fields are optional extensions added after the
-/// first protocol release; absent keys deserialize as `None`, so version-1
-/// frames from older clients remain valid.
+/// The `nested`, `stats`, and `snapshot` fields are optional extensions
+/// added after the first protocol release; absent keys deserialize as
+/// `None`, so version-1 frames from older clients remain valid.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReachRequest {
     /// Protocol version (must equal [`PROTOCOL_VERSION`]).
@@ -42,17 +42,34 @@ pub struct ReachRequest {
     /// `Some(true)`: ignore the query fields and return the server's cache
     /// statistics via [`ReachResponse::Stats`].
     pub stats: Option<bool>,
+    /// `Some(true)`: ignore the query fields and return the server's full
+    /// telemetry registry dump via [`ReachResponse::StatsSnapshot`].
+    pub snapshot: Option<bool>,
 }
 
 impl ReachRequest {
     /// A scalar conjunction-reach query.
     pub fn scalar(locations: Vec<String>, interests: Vec<u32>) -> Self {
-        Self { v: PROTOCOL_VERSION, locations, interests, nested: None, stats: None }
+        Self {
+            v: PROTOCOL_VERSION,
+            locations,
+            interests,
+            nested: None,
+            stats: None,
+            snapshot: None,
+        }
     }
 
     /// A nested prefix-sweep query (order of `interests` is significant).
     pub fn nested(locations: Vec<String>, interests: Vec<u32>) -> Self {
-        Self { v: PROTOCOL_VERSION, locations, interests, nested: Some(true), stats: None }
+        Self {
+            v: PROTOCOL_VERSION,
+            locations,
+            interests,
+            nested: Some(true),
+            stats: None,
+            snapshot: None,
+        }
     }
 
     /// A cache-statistics probe.
@@ -63,6 +80,19 @@ impl ReachRequest {
             interests: Vec::new(),
             nested: None,
             stats: Some(true),
+            snapshot: None,
+        }
+    }
+
+    /// A telemetry-registry probe (full metrics dump).
+    pub fn stats_snapshot() -> Self {
+        Self {
+            v: PROTOCOL_VERSION,
+            locations: Vec::new(),
+            interests: Vec::new(),
+            nested: None,
+            stats: None,
+            snapshot: Some(true),
         }
     }
 }
@@ -112,6 +142,13 @@ pub enum ReachResponse {
     Stats {
         /// Counters and residency at the time of the request.
         stats: reach_cache::CacheStats,
+    },
+    /// The server's full telemetry registry dump: every counter, gauge,
+    /// and latency histogram, sorted by name (cache statistics are
+    /// mirrored in as `reach_cache.*` gauges at snapshot time).
+    StatsSnapshot {
+        /// Registry contents at the time of the request.
+        registry: uof_telemetry::RegistrySnapshot,
     },
 }
 
@@ -250,14 +287,15 @@ mod tests {
     #[test]
     fn version_one_frames_without_extension_keys_still_decode() {
         // Wire backward compatibility: the original protocol-1 request shape
-        // (no `nested`/`stats` keys) must keep decoding, with the extension
-        // fields defaulting to `None`.
+        // (no `nested`/`stats`/`snapshot` keys) must keep decoding, with the
+        // extension fields defaulting to `None`.
         let raw = br#"{"v":1,"locations":["US"],"interests":[0,5]}"#;
         let request: ReachRequest = decode(raw).unwrap();
         assert_eq!(request.v, 1);
         assert_eq!(request.interests, vec![0, 5]);
         assert_eq!(request.nested, None);
         assert_eq!(request.stats, None);
+        assert_eq!(request.snapshot, None);
     }
 
     #[test]
@@ -270,6 +308,28 @@ mod tests {
         let frame = encode(&stats);
         let back: ReachRequest = decode(&frame[..frame.len() - 1]).unwrap();
         assert_eq!(back, stats);
+        let snapshot = ReachRequest::stats_snapshot();
+        assert_eq!(snapshot.snapshot, Some(true));
+        assert_eq!(snapshot.stats, None);
+        assert!(snapshot.interests.is_empty());
+    }
+
+    #[test]
+    fn stats_snapshot_response_round_trips() {
+        use uof_telemetry::{Registry, RegistrySnapshot};
+        let registry = Registry::new();
+        registry.counter("reach.requests.scalar").add(7);
+        registry.gauge("reach.requests.in_flight").set(1);
+        registry.latency_histogram("reach.request.scalar").observe(42_000);
+        let response = ReachResponse::StatsSnapshot { registry: registry.snapshot() };
+        let frame = encode(&response);
+        let back: ReachResponse = decode(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(back, response);
+        // An empty registry dump is also a valid frame.
+        let empty = ReachResponse::StatsSnapshot { registry: RegistrySnapshot::default() };
+        let frame = encode(&empty);
+        let back: ReachResponse = decode(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(back, empty);
     }
 
     #[test]

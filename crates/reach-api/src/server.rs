@@ -18,7 +18,8 @@ use fbsim_population::countries::CountryCode;
 use fbsim_population::reach::CountryFilter;
 use fbsim_population::{InterestId, World};
 use parking_lot::Mutex;
-use reach_cache::{key::canonical_interests, CacheConfig, ReachCache};
+use reach_cache::{key::canonical_interests, CacheConfig, CacheStats, ReachCache};
+use uof_telemetry::{Telemetry, TelemetryConfig};
 
 use crate::proto::{
     decode, encode, FrameCodec, ReachPoint, ReachRequest, ReachResponse, PROTOCOL_VERSION,
@@ -70,7 +71,7 @@ impl RateLimitConfig {
 }
 
 /// Server configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// Reporting era (controls the floor).
     pub era: ReportingEra,
@@ -80,6 +81,13 @@ pub struct ServerConfig {
     /// environment variables (set `UOF_REACH_CACHE=0` to disable caching);
     /// explicit construction pins the behaviour regardless of environment.
     pub cache: CacheConfig,
+    /// Telemetry domain. `None` (the default) records into the
+    /// process-global instance (built from `UOF_TELEMETRY*` on first
+    /// touch), so engine spans and server metrics land in the one registry
+    /// the `StatsSnapshot` opcode dumps. `Some(config)` gives the server a
+    /// private pinned instance regardless of environment — loopback tests
+    /// use this to observe metrics without ambient interference.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +96,7 @@ impl Default for ServerConfig {
             era: ReportingEra::Early2017,
             rate_limit: RateLimitConfig::default(),
             cache: CacheConfig::from_env(),
+            telemetry: None,
         }
     }
 }
@@ -136,6 +145,9 @@ pub struct ReachServer {
     accept_thread: Option<std::thread::JoinHandle<()>>,
     requests_served: Arc<AtomicU64>,
     cache: Arc<ReachCache>,
+    /// `Some` when the config pinned a private telemetry domain; `None`
+    /// means the process-global instance.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl ReachServer {
@@ -164,9 +176,12 @@ impl ReachServer {
         // One cache shared by every connection thread — cross-connection
         // reuse and single-flight deduplication are the whole point.
         let cache = Arc::new(ReachCache::new(config.cache));
+        // A pinned telemetry domain, or `None` for the process global.
+        let telemetry = config.telemetry.as_ref().map(|cfg| Arc::new(Telemetry::new(cfg)));
         let accept_stop = Arc::clone(&stop);
         let accept_served = Arc::clone(&requests_served);
         let accept_cache = Arc::clone(&cache);
+        let accept_telemetry = telemetry.clone();
         let handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
         let accept_handles = Arc::clone(&handles);
@@ -178,9 +193,14 @@ impl ReachServer {
                         let stop = Arc::clone(&accept_stop);
                         let served = Arc::clone(&accept_served);
                         let cache = Arc::clone(&accept_cache);
+                        let config = config.clone();
+                        let telemetry = accept_telemetry.clone();
                         let handle = std::thread::spawn(move || {
-                            let _ =
-                                handle_connection(stream, &world, &cache, config, &stop, &served);
+                            let telemetry =
+                                telemetry.as_deref().unwrap_or_else(|| uof_telemetry::global());
+                            let _ = handle_connection(
+                                stream, &world, &cache, telemetry, &config, &stop, &served,
+                            );
                         });
                         accept_handles.lock().push(handle);
                     }
@@ -195,7 +215,14 @@ impl ReachServer {
                 let _ = handle.join();
             }
         });
-        Ok(Self { addr, stop, accept_thread: Some(accept_thread), requests_served, cache })
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            requests_served,
+            cache,
+            telemetry,
+        })
     }
 
     /// The bound address clients should connect to.
@@ -212,6 +239,14 @@ impl ReachServer {
     /// a [`ReachRequest::stats`] probe instead).
     pub fn cache(&self) -> &ReachCache {
         &self.cache
+    }
+
+    /// The telemetry domain this server records into: the pinned instance
+    /// when [`ServerConfig::telemetry`] was `Some`, the process global
+    /// otherwise. Remote clients use a [`ReachRequest::stats_snapshot`]
+    /// probe instead.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.telemetry.as_deref().unwrap_or_else(|| uof_telemetry::global())
     }
 
     /// Stops accepting and joins the accept thread. Idempotent.
@@ -243,7 +278,8 @@ fn handle_connection(
     mut stream: TcpStream,
     world: &World,
     cache: &ReachCache,
-    config: ServerConfig,
+    telemetry: &Telemetry,
+    config: &ServerConfig,
     stop: &AtomicBool,
     served: &AtomicU64,
 ) -> std::io::Result<()> {
@@ -273,6 +309,7 @@ fn handle_connection(
                 Ok(None) => break,
                 Err(_) => {
                     // Oversized frame: tell the client and drop them.
+                    telemetry.count("reach.requests.oversized", 1);
                     let _ = stream.write_all(&encode(&ReachResponse::Error {
                         message: "frame too large".into(),
                     }));
@@ -281,12 +318,16 @@ fn handle_connection(
             };
             let response = match bucket.try_take() {
                 Err(wait) => {
+                    telemetry.count("reach.requests.rate_limited", 1);
                     ReachResponse::RateLimited { retry_after_ms: wait.as_millis().max(1) as u64 }
                 }
                 Ok(()) => match decode::<ReachRequest>(&frame) {
-                    Err(e) => ReachResponse::Error { message: e.to_string() },
+                    Err(e) => {
+                        telemetry.count("reach.requests.error", 1);
+                        ReachResponse::Error { message: e.to_string() }
+                    }
                     Ok(request) => {
-                        let r = answer(&api, cache, &request);
+                        let r = answer_instrumented(&api, cache, telemetry, &request);
                         if !matches!(
                             r,
                             ReachResponse::Error { .. } | ReachResponse::RateLimited { .. }
@@ -302,6 +343,79 @@ fn handle_connection(
     }
 }
 
+/// Per-opcode metric names: `(counter, latency-span)` pairs. The span name
+/// doubles as the histogram name the duration lands in.
+fn opcode_names(request: &ReachRequest) -> (&'static str, &'static str) {
+    if request.snapshot == Some(true) {
+        ("reach.requests.snapshot", "reach.request.snapshot")
+    } else if request.stats == Some(true) {
+        ("reach.requests.stats", "reach.request.stats")
+    } else if request.nested == Some(true) {
+        ("reach.requests.nested", "reach.request.nested")
+    } else {
+        ("reach.requests.scalar", "reach.request.scalar")
+    }
+}
+
+/// Wraps [`answer`] in per-opcode telemetry: an opcode counter, the
+/// in-flight gauge, and a latency span (which records into the
+/// `reach.request.<opcode>` histogram and traces when a sink is attached).
+/// When telemetry is disabled this adds one relaxed load over a bare
+/// `answer` call.
+fn answer_instrumented(
+    api: &AdsManagerApi<'_>,
+    cache: &ReachCache,
+    telemetry: &Telemetry,
+    request: &ReachRequest,
+) -> ReachResponse {
+    if !telemetry.is_enabled() {
+        return answer(api, cache, telemetry, request);
+    }
+    let (counter, span_name) = opcode_names(request);
+    telemetry.registry().counter(counter).incr();
+    let in_flight = telemetry.registry().gauge("reach.requests.in_flight");
+    // Incremented before the request is handled, so a snapshot request
+    // deterministically observes itself in flight (the gauge is >= 1 in
+    // its own dump).
+    in_flight.incr();
+    let response = {
+        let _span = telemetry
+            .span(span_name)
+            .field("locations", request.locations.len().into())
+            .field("interests", request.interests.len().into())
+            .start();
+        answer(api, cache, telemetry, request)
+    };
+    in_flight.decr();
+    if matches!(response, ReachResponse::Error { .. }) {
+        telemetry.registry().counter("reach.requests.error").incr();
+    }
+    response
+}
+
+/// Mirrors the cache's bespoke [`CacheStats`] counters into the registry
+/// as `reach_cache.*` gauges, so one `StatsSnapshot` dump carries the
+/// aggregate cache view alongside the request metrics. Gauges (not
+/// counters) because the cache owns the authoritative totals; the registry
+/// holds a point-in-time copy refreshed on each snapshot.
+fn publish_cache_stats(telemetry: &Telemetry, stats: &CacheStats) {
+    let registry = telemetry.registry();
+    let clamp = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+    registry.gauge("reach_cache.enabled").set(i64::from(stats.enabled));
+    registry.gauge("reach_cache.epoch").set(clamp(stats.epoch));
+    registry.gauge("reach_cache.entries").set(clamp(stats.entries as u64));
+    registry.gauge("reach_cache.hits").set(clamp(stats.hits));
+    registry.gauge("reach_cache.misses").set(clamp(stats.misses));
+    registry.gauge("reach_cache.single_flight_waits").set(clamp(stats.single_flight_waits));
+    registry.gauge("reach_cache.insertions").set(clamp(stats.insertions));
+    registry.gauge("reach_cache.evictions").set(clamp(stats.evictions));
+    registry.gauge("reach_cache.invalidations").set(clamp(stats.invalidations));
+    registry.gauge("reach_cache.prefix_entries").set(clamp(stats.prefix_entries as u64));
+    registry.gauge("reach_cache.prefix_hits").set(clamp(stats.prefix_hits));
+    registry.gauge("reach_cache.prefix_misses").set(clamp(stats.prefix_misses));
+    registry.gauge("reach_cache.prefix_extensions").set(clamp(stats.prefix_extensions));
+}
+
 /// Validates a request and computes the reported reach.
 ///
 /// Scalar queries are **canonicalized server-side** (interests sorted and
@@ -310,7 +424,12 @@ fn handle_connection(
 /// entry, and — because the engine then evaluates the same interest order —
 /// report bit-identical values. Nested queries are order-significant and
 /// never reordered; duplicates there are rejected by spec validation.
-fn answer(api: &AdsManagerApi<'_>, cache: &ReachCache, request: &ReachRequest) -> ReachResponse {
+fn answer(
+    api: &AdsManagerApi<'_>,
+    cache: &ReachCache,
+    telemetry: &Telemetry,
+    request: &ReachRequest,
+) -> ReachResponse {
     if request.v != PROTOCOL_VERSION {
         return ReachResponse::Error {
             message: format!("unsupported protocol version {}", request.v),
@@ -320,6 +439,17 @@ fn answer(api: &AdsManagerApi<'_>, cache: &ReachCache, request: &ReachRequest) -
     // answer: one atomic swap when nothing changed, an epoch bump when the
     // world moved under a long-lived server.
     cache.sync_generation(api.world().generation());
+    if request.snapshot == Some(true) {
+        // Refresh the mirrored cache view, then dump everything. The dump
+        // itself is already counted and in flight (see
+        // `answer_instrumented`), so a snapshot observes its own request.
+        // With telemetry disabled nothing records, so the dump is empty —
+        // still a valid, well-formed answer.
+        if telemetry.is_enabled() {
+            publish_cache_stats(telemetry, &cache.stats());
+        }
+        return ReachResponse::StatsSnapshot { registry: telemetry.snapshot() };
+    }
     if request.stats == Some(true) {
         return ReachResponse::Stats { stats: cache.stats() };
     }

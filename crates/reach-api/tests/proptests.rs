@@ -10,7 +10,8 @@ proptest! {
         locations in prop::collection::vec("[A-Z]{2}", 0..10),
         interests in prop::collection::vec(any::<u32>(), 0..30),
     ) {
-        let request = ReachRequest { v, locations, interests, nested: None, stats: None };
+        let request =
+            ReachRequest { v, locations, interests, nested: None, stats: None, snapshot: None };
         let frame = encode(&request);
         let back: ReachRequest = decode(&frame[..frame.len() - 1]).unwrap();
         prop_assert_eq!(back, request);
@@ -30,6 +31,7 @@ proptest! {
                 interests,
                 nested: None,
                 stats: None,
+                snapshot: None,
             })
             .collect();
         for r in &originals {

@@ -1,0 +1,198 @@
+//! Loopback tests of the telemetry wiring: the `StatsSnapshot` introspection
+//! opcode, per-opcode counters and latency histograms, wire backward
+//! compatibility, and the disabled-telemetry inert path.
+//!
+//! Every server here pins an explicit [`TelemetryConfig`] so the assertions
+//! are immune to the `UOF_TELEMETRY` CI sweeps — explicit configs never
+//! consult the environment.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use fbsim_population::{World, WorldConfig};
+use reach_api::proto::ReachResponse;
+use reach_api::server::ServerConfig;
+use reach_api::{ReachClient, ReachServer};
+use reach_cache::CacheConfig;
+use uof_telemetry::TelemetryConfig;
+
+fn test_world() -> Arc<World> {
+    use std::sync::OnceLock;
+    static WORLD: OnceLock<Arc<World>> = OnceLock::new();
+    Arc::clone(
+        WORLD.get_or_init(|| Arc::new(World::generate(WorldConfig::test_scale(23)).unwrap())),
+    )
+}
+
+/// A server with telemetry pinned on and the cache pinned on, so the test
+/// observes both the request metrics and the mirrored cache gauges.
+fn telemetry_server() -> ReachServer {
+    ReachServer::start(
+        test_world(),
+        ServerConfig {
+            telemetry: Some(TelemetryConfig::enabled()),
+            cache: CacheConfig::default(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback")
+}
+
+#[test]
+fn snapshot_reports_request_counters_and_latency() {
+    let server = telemetry_server();
+    let mut client = ReachClient::connect(server.addr()).unwrap();
+
+    // Drive traffic through both query opcodes.
+    for i in 0..3u32 {
+        client.potential_reach(&["US", "ES"], &[i, i + 7]).unwrap();
+    }
+    client.nested_reach(&["US"], &[1, 3, 5]).unwrap();
+
+    let registry = client.telemetry_snapshot().unwrap();
+
+    // Per-opcode request counters moved.
+    assert_eq!(registry.counter("reach.requests.scalar"), Some(3), "{registry:?}");
+    assert_eq!(registry.counter("reach.requests.nested"), Some(1), "{registry:?}");
+    // The snapshot request counts itself: its counter is bumped before the
+    // dump is taken.
+    assert_eq!(registry.counter("reach.requests.snapshot"), Some(1), "{registry:?}");
+    assert_eq!(registry.counter("reach.requests.error"), None, "no errors sent: {registry:?}");
+
+    // Latency histograms carry one observation per completed request.
+    let scalar = registry.histogram("reach.request.scalar").expect("scalar histogram");
+    assert_eq!(scalar.count, 3, "{scalar:?}");
+    assert!(scalar.sum > 0, "requests take nonzero time: {scalar:?}");
+    assert!(scalar.populated_buckets() > 0, "{scalar:?}");
+    let total: u64 = scalar.buckets.iter().map(|b| b.count).sum();
+    assert_eq!(total, scalar.count, "bucket counts must account for every observation");
+    let nested = registry.histogram("reach.request.nested").expect("nested histogram");
+    assert_eq!(nested.count, 1, "{nested:?}");
+
+    // The snapshot is taken while its own request is being handled, so the
+    // in-flight gauge deterministically sees at least itself.
+    let in_flight = registry.gauge("reach.requests.in_flight").expect("in-flight gauge");
+    assert!(in_flight >= 1, "snapshot must observe itself in flight, got {in_flight}");
+
+    // Cache counters are mirrored into the registry as gauges and agree
+    // with the dedicated stats opcode.
+    assert_eq!(registry.gauge("reach_cache.enabled"), Some(1), "{registry:?}");
+    let stats = client.cache_stats().unwrap();
+    let mirrored = registry.gauge("reach_cache.misses").expect("mirrored miss gauge");
+    assert!(mirrored >= 1 && mirrored as u64 <= stats.misses, "{mirrored} vs {stats:?}");
+}
+
+#[test]
+fn histograms_accumulate_across_snapshots() {
+    let server = telemetry_server();
+    let mut client = ReachClient::connect(server.addr()).unwrap();
+
+    client.potential_reach(&["US"], &[2]).unwrap();
+    let first = client.telemetry_snapshot().unwrap();
+    client.potential_reach(&["US"], &[2]).unwrap();
+    client.potential_reach(&["US"], &[2]).unwrap();
+    let second = client.telemetry_snapshot().unwrap();
+
+    // Counters and histogram counts are monotone across snapshots.
+    assert_eq!(first.counter("reach.requests.scalar"), Some(1));
+    assert_eq!(second.counter("reach.requests.scalar"), Some(3));
+    let h1 = first.histogram("reach.request.scalar").unwrap();
+    let h2 = second.histogram("reach.request.scalar").unwrap();
+    assert!(h2.count > h1.count && h2.sum >= h1.sum, "{h1:?} vs {h2:?}");
+    // The second snapshot sees the first snapshot request completed.
+    let s2 = second.histogram("reach.request.snapshot").unwrap();
+    assert_eq!(s2.count, 1, "{s2:?}");
+}
+
+#[test]
+fn v1_frames_without_extension_keys_still_served() {
+    // A version-1 client hand-written on a raw socket: no `nested`, `stats`,
+    // or `snapshot` keys at all. The telemetry-era server must decode it and
+    // answer a plain reach frame it can understand.
+    let server = telemetry_server();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    stream.write_all(b"{\"v\":1,\"locations\":[\"US\",\"ES\"],\"interests\":[0]}\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let response: ReachResponse = serde_json::from_str(line.trim_end()).unwrap();
+    let reported = match response {
+        ReachResponse::Reach { reported, .. } => reported,
+        other => panic!("expected reach frame, got {other:?}"),
+    };
+
+    // Identical to the same query through the current client.
+    let mut client = ReachClient::connect(server.addr()).unwrap();
+    assert_eq!(client.potential_reach(&["US", "ES"], &[0]).unwrap().reported, reported);
+
+    // And the raw request was metered like any scalar query.
+    let registry = client.telemetry_snapshot().unwrap();
+    assert_eq!(registry.counter("reach.requests.scalar"), Some(2), "{registry:?}");
+}
+
+#[test]
+fn disabled_telemetry_is_inert_and_answers_match() {
+    let off = ReachServer::start(
+        test_world(),
+        ServerConfig {
+            telemetry: Some(TelemetryConfig::disabled()),
+            cache: CacheConfig::default(),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let on = telemetry_server();
+    let mut off_client = ReachClient::connect(off.addr()).unwrap();
+    let mut on_client = ReachClient::connect(on.addr()).unwrap();
+
+    // Observation only: answers are identical with telemetry off and on.
+    for i in 0..4u32 {
+        let a = off_client.potential_reach(&["US", "FR"], &[i, i + 11]).unwrap();
+        let b = on_client.potential_reach(&["US", "FR"], &[i, i + 11]).unwrap();
+        assert_eq!(a, b);
+    }
+    assert_eq!(
+        off_client.nested_reach(&["US"], &[2, 4, 6]).unwrap(),
+        on_client.nested_reach(&["US"], &[2, 4, 6]).unwrap()
+    );
+
+    // The snapshot opcode still answers, with an empty registry: nothing
+    // was recorded and no cache gauges were published.
+    let registry = off_client.telemetry_snapshot().unwrap();
+    assert!(registry.counters.is_empty(), "{registry:?}");
+    assert!(registry.gauges.is_empty(), "{registry:?}");
+    assert!(registry.histograms.is_empty(), "{registry:?}");
+}
+
+#[test]
+fn errors_and_concurrent_traffic_are_metered() {
+    let server = telemetry_server();
+    let addr = server.addr();
+
+    // Two invalid requests, then concurrent valid traffic.
+    let mut client = ReachClient::connect(addr).unwrap();
+    assert!(client.potential_reach(&[], &[0]).is_err());
+    assert!(client.potential_reach(&["Spain"], &[0]).is_err());
+    let threads: Vec<_> = (0..3)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = ReachClient::connect(addr).unwrap();
+                for i in 0..5u32 {
+                    client.potential_reach(&["US"], &[t * 50 + i]).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let registry = client.telemetry_snapshot().unwrap();
+    assert_eq!(registry.counter("reach.requests.error"), Some(2), "{registry:?}");
+    // Invalid requests are still scalar-opcode requests: 2 + 15.
+    assert_eq!(registry.counter("reach.requests.scalar"), Some(17), "{registry:?}");
+    let histogram = registry.histogram("reach.request.scalar").unwrap();
+    assert_eq!(histogram.count, 17, "{histogram:?}");
+}

@@ -99,6 +99,9 @@ impl<K: Hash + Eq + Clone, V> Shard<K, V> {
         }
     }
 
+    /// Reads the shard's six counters as a group of independent relaxed
+    /// loads — **not** an atomic snapshot. See
+    /// [`ShardedCache::counters`] for the tear-tolerance contract.
     fn counters(&self) -> CacheCounters {
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
@@ -199,6 +202,24 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     }
 
     /// Aggregated counters across all shards.
+    ///
+    /// # Tear tolerance
+    ///
+    /// The per-shard counters are independent relaxed atomics read one by
+    /// one, not under any lock, so a snapshot taken **while writers are
+    /// active** is not a consistent cut: it can capture an operation's
+    /// `misses` increment but not yet its `insertions` increment, or
+    /// different shards at different moments. What IS guaranteed:
+    ///
+    /// * each individual counter is monotone — two snapshots `a` then `b`
+    ///   satisfy `a.field <= b.field` for every field;
+    /// * after quiescence (all worker threads joined, happens-before
+    ///   established), a snapshot is exact: every field equals the true
+    ///   operation count (see the `counters_exact_after_quiescence` test);
+    /// * torn reads can never panic, wrap, or invent events — only lag.
+    ///
+    /// These counters are observability data; nothing in the cache (or in
+    /// callers) may branch on them for correctness.
     pub fn counters(&self) -> CacheCounters {
         let mut total = CacheCounters::default();
         for shard in &self.shards {
@@ -207,7 +228,8 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         total
     }
 
-    /// Per-shard counter snapshots, in shard-index order.
+    /// Per-shard counter snapshots, in shard-index order. Tear-tolerant
+    /// like [`ShardedCache::counters`].
     pub fn per_shard_counters(&self) -> Vec<CacheCounters> {
         self.shards.iter().map(Shard::counters).collect()
     }

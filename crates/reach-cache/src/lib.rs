@@ -191,8 +191,16 @@ impl ReachCache {
         entry.reaches.clone()
     }
 
-    /// A point-in-time stats snapshot (counters are relaxed atomics;
-    /// concurrent updates may be a beat behind).
+    /// A point-in-time stats snapshot.
+    ///
+    /// The counters are per-shard relaxed atomics read non-atomically as a
+    /// group: while writers are active the snapshot may lag in-flight
+    /// operations and mix per-field progress (e.g. a miss counted whose
+    /// insertion is not yet visible). Each field is individually monotone,
+    /// and after quiescence the snapshot is exact — see the tear-tolerance
+    /// contract on `ShardedCache::counters` and the
+    /// `counters_exact_after_quiescence` test. Observability only: never
+    /// branch on these values for correctness.
     pub fn stats(&self) -> CacheStats {
         let conj = self.conjunctions.counters();
         let pref = self.prefixes.counters();

@@ -214,3 +214,69 @@ fn concurrent_identical_queries_single_flight() {
     assert_eq!(stats.misses, 1);
     assert_eq!(stats.hits + stats.single_flight_waits, 7, "{stats:?}");
 }
+
+#[test]
+fn counters_exact_after_quiescence() {
+    // The tear-tolerance contract (see `ShardedCache::counters`): while
+    // writers run, a stats snapshot may lag and mix per-field progress, but
+    // each field is monotone; once every worker has been joined, the
+    // snapshot must equal the exact operation totals.
+    let world = std::sync::Arc::new(test_world(609));
+    let cache = std::sync::Arc::new(cache());
+    cache.sync_generation(world.generation());
+    const THREADS: usize = 4;
+    const DISTINCT: usize = 12;
+    const ROUNDS: usize = 3;
+    let gate = std::sync::Arc::new(std::sync::Barrier::new(THREADS + 1));
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let world = std::sync::Arc::clone(&world);
+            let cache = std::sync::Arc::clone(&cache);
+            let gate = std::sync::Arc::clone(&gate);
+            std::thread::spawn(move || {
+                gate.wait();
+                let engine = world.reach_engine();
+                // Every thread queries the same DISTINCT keys ROUNDS times.
+                for _ in 0..ROUNDS {
+                    for q in 0..DISTINCT {
+                        let ids = [InterestId(q as u32 * 13 + 1)];
+                        cache.reach(&ids, CountryFilter::ALL, None, || {
+                            engine.conjunction_reach_in(&ids, CountryFilter::ALL)
+                        });
+                    }
+                }
+            })
+        })
+        .collect();
+    gate.wait();
+    // Mid-flight snapshots: monotone per field, never beyond the final total.
+    let mut last = cache.stats();
+    for _ in 0..50 {
+        let now = cache.stats();
+        assert!(now.hits >= last.hits, "hits regressed: {last:?} -> {now:?}");
+        assert!(now.misses >= last.misses, "misses regressed: {last:?} -> {now:?}");
+        assert!(now.insertions >= last.insertions, "insertions regressed");
+        last = now;
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    // Quiescent: totals are exact. Every lookup is accounted for exactly
+    // once (hit, leader miss, or single-flight wait), each distinct key
+    // computed and inserted exactly once, and nothing was evicted or
+    // invalidated.
+    let stats = cache.stats();
+    let lookups = (THREADS * ROUNDS * DISTINCT) as u64;
+    assert_eq!(
+        stats.hits + stats.misses + stats.single_flight_waits,
+        lookups,
+        "every lookup accounted once: {stats:?}"
+    );
+    assert_eq!(stats.misses, DISTINCT as u64, "one leader per distinct key: {stats:?}");
+    assert_eq!(stats.insertions, DISTINCT as u64);
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(stats.invalidations, 0);
+    assert_eq!(stats.entries, DISTINCT);
+    // A repeat snapshot with no traffic in between is bit-for-bit stable.
+    assert_eq!(cache.stats(), stats);
+}

@@ -59,8 +59,17 @@ pub fn estimate_np(
     assert!(p > 0.0 && p < 1.0, "P must be a probability in (0, 1)");
     let q = p * 100.0;
     let floor = vectors.floor as f64;
-    let point = fit_np(&vectors.v_as(q), floor).map_err(NpError::Fit)?;
+    let point = {
+        let _span = uof_telemetry::span!("uniqueness.fit", users = vectors.len(), p = p);
+        fit_np(&vectors.v_as(q), floor).map_err(NpError::Fit)?
+    };
     let ci95 = if replicates > 0 {
+        let _span = uof_telemetry::span!(
+            "uniqueness.bootstrap",
+            users = vectors.len(),
+            replicates = replicates,
+            p = p,
+        );
         let (ci, _) = bootstrap_ci(vectors.len(), replicates, 0.95, seed, |idx| {
             fit_np(&vectors.v_as_indices(q, Some(idx)), floor).ok().map(|f| f.np)
         })

@@ -1,0 +1,188 @@
+//! Structured spans: scoped timers with attached fields.
+//!
+//! A span is a guard object covering a region of work. On drop it records
+//! the elapsed wall time into the latency histogram named after the span
+//! and, when a trace sink is attached, emits one JSONL [`TraceEvent`]
+//! carrying the call site's structured fields. When telemetry is disabled
+//! the guard is inert — construction reads no clock and drop does nothing —
+//! so instrumentation can stay in place unconditionally.
+//!
+//! The usual spelling is the [`span!`](crate::span!) macro against the
+//! process-global instance:
+//!
+//! ```
+//! let _span = uof_telemetry::span!("reach.scalar", interests = 3u64);
+//! // ... timed work ...
+//! ```
+//!
+//! Code holding an explicit [`Telemetry`](crate::Telemetry) (the reach
+//! server with a pinned test instance) uses the method form:
+//! `telemetry.span("reach.scalar").field("interests", 3u64.into()).start()`.
+
+use std::time::Instant;
+
+use serde::{Serialize, Value};
+
+use crate::trace::{TraceEvent, TraceField};
+use crate::Telemetry;
+
+/// A structured field value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (counts, sizes).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point value.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Text (kept owned so call sites can pass computed labels).
+    Str(String),
+}
+
+impl Serialize for FieldValue {
+    fn to_value(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::U64(*v),
+            FieldValue::I64(v) => Value::I64(*v),
+            FieldValue::F64(v) => Value::F64(*v),
+            FieldValue::Bool(v) => Value::Bool(*v),
+            FieldValue::Str(v) => Value::Str(v.clone()),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// Builder for a [`SpanGuard`]; produced by
+/// [`Telemetry::span`](crate::Telemetry::span).
+#[must_use = "a span builder times nothing until start() is called"]
+pub struct SpanBuilder<'a> {
+    /// `None` when telemetry is disabled: fields are discarded and the
+    /// guard is inert.
+    active: Option<SpanSetup<'a>>,
+}
+
+struct SpanSetup<'a> {
+    telemetry: &'a Telemetry,
+    name: &'static str,
+    fields: Vec<TraceField>,
+}
+
+impl<'a> SpanBuilder<'a> {
+    pub(crate) fn new(telemetry: &'a Telemetry, name: &'static str) -> Self {
+        let active =
+            telemetry.is_enabled().then(|| SpanSetup { telemetry, name, fields: Vec::new() });
+        Self { active }
+    }
+
+    /// Attaches a structured `key = value` field (no-op when disabled).
+    pub fn field(mut self, key: &'static str, value: FieldValue) -> Self {
+        if let Some(setup) = self.active.as_mut() {
+            setup.fields.push(TraceField { key, value });
+        }
+        self
+    }
+
+    /// Starts the clock; the returned guard records on drop.
+    pub fn start(self) -> SpanGuard<'a> {
+        SpanGuard {
+            active: self.active.map(|setup| ActiveSpan {
+                telemetry: setup.telemetry,
+                name: setup.name,
+                fields: setup.fields,
+                start: Instant::now(),
+            }),
+        }
+    }
+}
+
+/// A running span; records duration (and optionally a trace event) when
+/// dropped.
+#[must_use = "dropping the guard immediately records a zero-length span"]
+pub struct SpanGuard<'a> {
+    active: Option<ActiveSpan<'a>>,
+}
+
+struct ActiveSpan<'a> {
+    telemetry: &'a Telemetry,
+    name: &'static str,
+    fields: Vec<TraceField>,
+    start: Instant,
+}
+
+impl SpanGuard<'_> {
+    /// Whether this guard is actually timing (false when telemetry was
+    /// disabled at construction).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else { return };
+        let dur_ns = clamp_ns(span.start.elapsed().as_nanos());
+        let ActiveSpan { telemetry, name, fields, start } = span;
+        telemetry.registry().latency_histogram(name).observe(dur_ns);
+        telemetry.emit_trace(move |seq, origin| TraceEvent {
+            span: name.to_string(),
+            seq,
+            start_ns: clamp_ns(start.saturating_duration_since(origin).as_nanos()),
+            dur_ns,
+            fields,
+        });
+    }
+}
+
+/// Saturates a nanosecond count into `u64` (584 years of headroom).
+fn clamp_ns(ns: u128) -> u64 {
+    u64::try_from(ns).unwrap_or(u64::MAX)
+}

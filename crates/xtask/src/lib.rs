@@ -18,6 +18,11 @@
 //!   `UOF_THREADS` and the deterministic-reduction contract apply.
 //!   `reach-api` (thread-per-connection I/O, not data parallelism) is
 //!   exempt, as are tests, benches and binaries.
+//! * [`Rule::NoPrintInLibrary`] — no `println!` / `eprintln!` (or their
+//!   non-newline variants) in library crates: diagnostics belong in the
+//!   `uof-telemetry` registry / trace writer, not on a shared process's
+//!   stdio. Binaries, tests, the `xtask` CLI and the `bench` reporting
+//!   harness are exempt.
 //!
 //! Findings can be waived inline with
 //! `// lint:allow(<rule>) — reason` on the offending line or the line
@@ -51,16 +56,20 @@ pub enum Rule {
     /// Direct `std::thread::spawn` in library code that should use the
     /// vendored rayon pool instead.
     ThreadSpawn,
+    /// `println!` / `eprintln!` / `print!` / `eprint!` in library code that
+    /// should report through the telemetry layer instead of stdio.
+    NoPrintInLibrary,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::NoUnwrap,
         Rule::NondeterministicRng,
         Rule::FloatEq,
         Rule::UnjustifiedAllow,
         Rule::ThreadSpawn,
+        Rule::NoPrintInLibrary,
     ];
 
     /// The rule's waiver / report name.
@@ -71,6 +80,7 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::UnjustifiedAllow => "unjustified-allow",
             Rule::ThreadSpawn => "thread-spawn",
+            Rule::NoPrintInLibrary => "no-print-in-library",
         }
     }
 
@@ -96,11 +106,15 @@ pub struct FileClass {
     /// Library code that must parallelise through the vendored rayon pool:
     /// [`Rule::ThreadSpawn`] applies.
     pub thread_policed: bool,
+    /// Library code that must not write to stdio:
+    /// [`Rule::NoPrintInLibrary`] applies.
+    pub print_policed: bool,
 }
 
 impl FileClass {
     /// Class under which every rule fires — what the unit-test fixtures use.
-    pub const STRICT: Self = Self { library: true, simulation: true, thread_policed: true };
+    pub const STRICT: Self =
+        Self { library: true, simulation: true, thread_policed: true, print_policed: true };
 }
 
 /// One lint finding.
@@ -402,6 +416,18 @@ pub fn lint_source(source: &str, class: FileClass) -> Vec<Violation> {
         if class.thread_policed && !in_test && code.contains("thread::spawn") {
             push(Rule::ThreadSpawn, &waived);
         }
+        if class.print_policed && !in_test {
+            // `eprintln!(` contains `println!(` as a substring (and
+            // `eprint!(` contains `print!(`), so one offending line matches
+            // several patterns — the `||` chain still pushes once.
+            if code.contains("println!(")
+                || code.contains("eprintln!(")
+                || code.contains("print!(")
+                || code.contains("eprint!(")
+            {
+                push(Rule::NoPrintInLibrary, &waived);
+            }
+        }
         if code.contains("#[allow(") || code.contains("#![allow(") {
             // Justified when the raw line (or its predecessor) carries any
             // `//` comment text explaining it.
@@ -448,7 +474,11 @@ pub fn classify(rel: &Path) -> Option<FileClass> {
     // reach-api's thread-per-connection server is I/O concurrency, not data
     // parallelism — it may spawn; everything else goes through the pool.
     let thread_policed = library && crate_name != "reach-api";
-    Some(FileClass { library, simulation, thread_policed })
+    // The xtask CLI and the bench reporting harness exist to talk to a
+    // terminal; every other library crate must route diagnostics through
+    // uof-telemetry rather than stdio.
+    let print_policed = library && !matches!(crate_name, "xtask" | "bench");
+    Some(FileClass { library, simulation, thread_policed, print_policed })
 }
 
 /// Recursively collects `.rs` files under `dir`, skipping `vendor/`,
@@ -545,8 +575,15 @@ mod tests {
     #[test]
     fn non_library_files_may_unwrap() {
         let src = "fn main() { run().unwrap(); }\n";
-        let v =
-            lint_source(src, FileClass { library: false, simulation: true, thread_policed: false });
+        let v = lint_source(
+            src,
+            FileClass {
+                library: false,
+                simulation: true,
+                thread_policed: false,
+                print_policed: false,
+            },
+        );
         assert!(v.is_empty());
     }
 
@@ -556,8 +593,15 @@ mod tests {
         let v = strict(src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::NondeterministicRng);
-        let v =
-            lint_source(src, FileClass { library: true, simulation: false, thread_policed: true });
+        let v = lint_source(
+            src,
+            FileClass {
+                library: true,
+                simulation: false,
+                thread_policed: true,
+                print_policed: true,
+            },
+        );
         assert!(v.is_empty());
     }
 
@@ -571,8 +615,15 @@ mod tests {
         let bare = "fn f() {\n    thread::spawn(|| 1);\n}\n";
         assert_eq!(strict(bare)[0].rule, Rule::ThreadSpawn);
         // Exempt where the class says spawning is fine (reach-api, bins).
-        let v =
-            lint_source(src, FileClass { library: true, simulation: false, thread_policed: false });
+        let v = lint_source(
+            src,
+            FileClass {
+                library: true,
+                simulation: false,
+                thread_policed: false,
+                print_policed: true,
+            },
+        );
         assert!(v.is_empty());
         // Test modules may spawn.
         let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| 1); }\n}\n";
@@ -580,6 +631,41 @@ mod tests {
         // Waivable with a reason.
         let waived =
             "fn f() {\n    // lint:allow(thread-spawn) — watchdog timer, not data parallelism\n    std::thread::spawn(|| 1);\n}\n";
+        assert!(strict(waived).is_empty());
+    }
+
+    #[test]
+    fn flags_print_macros_in_library_code() {
+        let src = "fn f() {\n    println!(\"a\");\n    eprintln!(\"b\");\n    print!(\"c\");\n    eprint!(\"d\");\n}\n";
+        let v = strict(src);
+        assert_eq!(v.len(), 4, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == Rule::NoPrintInLibrary));
+        assert_eq!(v[0].line, 2);
+        // An eprintln! line is one finding, not two, even though its text
+        // contains `println!(` as a substring.
+        let one = strict("fn f() { eprintln!(\"x\"); }\n");
+        assert_eq!(one.len(), 1);
+        // Exempt where the class says stdio is fine (bins, xtask, bench).
+        let v = lint_source(
+            src,
+            FileClass {
+                library: true,
+                simulation: false,
+                thread_policed: true,
+                print_policed: false,
+            },
+        );
+        assert!(v.is_empty());
+        // Test modules may print.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"debug\"); }\n}\n";
+        assert!(strict(test_src).is_empty());
+        // Strings and comments that mention the macros do not trigger.
+        let inert =
+            "fn f() -> &'static str {\n    // the CLI used println!(...) here\n    \"println!(not code)\"\n}\n";
+        assert!(strict(inert).is_empty());
+        // Waivable with a reason.
+        let waived =
+            "fn f() {\n    // lint:allow(no-print-in-library) — one-shot startup banner, not a hot path\n    eprintln!(\"up\");\n}\n";
         assert!(strict(waived).is_empty());
     }
 
@@ -649,13 +735,20 @@ mod tests {
     #[test]
     fn classify_maps_paths() {
         let lib = classify(Path::new("crates/uniqueness/src/np.rs")).unwrap();
-        assert!(lib.library && lib.simulation && lib.thread_policed);
+        assert!(lib.library && lib.simulation && lib.thread_policed && lib.print_policed);
         let bin = classify(Path::new("crates/bench/src/bin/fig_np.rs")).unwrap();
-        assert!(!bin.library && !bin.thread_policed);
+        assert!(!bin.library && !bin.thread_policed && !bin.print_policed);
         let test = classify(Path::new("tests/end_to_end.rs")).unwrap();
         assert!(!test.library && test.simulation && !test.thread_policed);
         let xt = classify(Path::new("crates/xtask/src/lib.rs")).unwrap();
         assert!(xt.library && !xt.simulation);
+        // The xtask CLI and the bench progress reporter may print; other
+        // library code must not.
+        assert!(!xt.print_policed);
+        let bench_lib = classify(Path::new("crates/bench/src/lib.rs")).unwrap();
+        assert!(bench_lib.library && !bench_lib.print_policed);
+        let telemetry = classify(Path::new("crates/uof-telemetry/src/lib.rs")).unwrap();
+        assert!(telemetry.print_policed);
         // reach-api may spawn (thread-per-connection server), everyone else
         // must go through the vendored pool.
         let api = classify(Path::new("crates/reach-api/src/server.rs")).unwrap();

@@ -3,12 +3,14 @@
 #
 #   scripts/check.sh          # fmt check + lint + release build + tests
 #
-# Tests run three times: once strictly sequentially (UOF_THREADS=1), once
+# Tests run four times: once strictly sequentially (UOF_THREADS=1), once
 # at the default thread count — so a scheduling-dependent regression in the
-# parallel pipeline cannot hide behind either configuration — and once with
+# parallel pipeline cannot hide behind either configuration — once with
 # the reach query cache disabled (UOF_REACH_CACHE=0), so nothing silently
-# depends on cached answers. Tests that assert cache behaviour construct
-# explicit cache configs and are immune to the sweep.
+# depends on cached answers, and once with telemetry recording enabled
+# (UOF_TELEMETRY=1), so instrumentation can never perturb an output.
+# Tests that assert cache or telemetry behaviour construct explicit
+# configs and are immune to the sweeps.
 #
 # Each step fails fast; run from anywhere inside the repo.
 set -euo pipefail
@@ -32,5 +34,8 @@ cargo test -q
 
 echo "==> cargo test -q (UOF_REACH_CACHE=0, query cache disabled)"
 UOF_REACH_CACHE=0 cargo test -q
+
+echo "==> cargo test -q (UOF_TELEMETRY=1, telemetry recording enabled)"
+UOF_TELEMETRY=1 cargo test -q
 
 echo "==> all checks passed"

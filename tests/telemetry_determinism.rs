@@ -1,0 +1,132 @@
+//! Telemetry is observation-only: every number the pipeline produces must be
+//! **bit-identical** with telemetry disabled, enabled, and enabled with a
+//! trace writer attached — at any thread count. The span guards sit directly
+//! on the reach-engine and fit/bootstrap hot paths, so this gate fails if
+//! instrumentation ever perturbs an actual computation.
+//!
+//! All modes are toggled at runtime on the process-global [`uof_telemetry`]
+//! handle (the one the `span!` call sites record into), inside a single test
+//! so no parallel test observes a half-toggled global.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use fbsim_population::reach::CountryFilter;
+use fbsim_population::{InterestId, World, WorldConfig};
+use uniqueness::selection::SelectionStrategy;
+use uniqueness::vectors::AudienceVectors;
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::generate(WorldConfig::test_scale(2021)).unwrap())
+}
+
+fn sequences() -> Vec<Vec<InterestId>> {
+    (0..4u32)
+        .map(|s| (0..16u32).map(|i| InterestId((s * 101 + i * 37) % 2_000)).collect())
+        .collect()
+}
+
+/// Deterministic synthetic audience vectors following the paper's model.
+fn vectors() -> AudienceVectors {
+    let rows: Vec<Vec<f64>> = (0..60)
+        .map(|u| {
+            let jitter = 1.0 + 0.2 * ((u as f64 * 2.399).sin());
+            (1..=25)
+                .map(|n| (10f64.powf(7.7 - 7.0 * ((n + 1) as f64).log10()) * jitter).max(20.0))
+                .collect()
+        })
+        .collect();
+    AudienceVectors::from_rows(SelectionStrategy::Random, 20, rows)
+}
+
+/// Runs the instrumented hot paths — conjunction sweeps, a nested sweep, and
+/// an `N_P` fit with bootstrap — and returns every produced float as bits.
+fn workload() -> Vec<u64> {
+    let engine = world().reach_engine();
+    let mut bits = Vec::new();
+    for seq in sequences() {
+        bits.push(engine.conjunction_reach_in(&seq, CountryFilter::ALL).to_bits());
+    }
+    for v in engine.nested_reaches_in(&sequences()[0], CountryFilter::from_bits(0b1011)) {
+        bits.push(v.to_bits());
+    }
+    let est = uniqueness::np::estimate_np(&vectors(), 0.9, 150, 7).unwrap();
+    bits.push(est.value.to_bits());
+    bits.push(est.r_squared.to_bits());
+    let ci = est.ci95.unwrap();
+    bits.push(ci.lo.to_bits());
+    bits.push(ci.hi.to_bits());
+    bits
+}
+
+/// An `io::Write` trace sink the test can inspect after detaching.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn outputs_bit_identical_across_telemetry_modes_and_thread_counts() {
+    let telemetry = uof_telemetry::global();
+    let was_enabled = telemetry.is_enabled();
+
+    // Baseline: telemetry off, single-threaded.
+    telemetry.set_enabled(false);
+    let baseline = rayon::with_thread_count(1, workload);
+
+    // Off, parallel.
+    for threads in [2, 4] {
+        assert_eq!(
+            rayon::with_thread_count(threads, workload),
+            baseline,
+            "telemetry-off output drifted at {threads} threads"
+        );
+    }
+
+    // Metrics on: spans record into the registry but outputs must not move.
+    telemetry.set_enabled(true);
+    for threads in [1, 4] {
+        assert_eq!(
+            rayon::with_thread_count(threads, workload),
+            baseline,
+            "telemetry-on output drifted at {threads} threads"
+        );
+    }
+    // The engine spans actually recorded something while enabled.
+    let snapshot = telemetry.snapshot();
+    let engine_hist =
+        snapshot.histogram("engine.conjunction_reach").expect("engine span histogram");
+    assert!(engine_hist.count > 0, "{engine_hist:?}");
+    assert!(snapshot.histogram("uniqueness.bootstrap").is_some(), "{snapshot:?}");
+
+    // Tracing on: every span also emits a JSONL event; outputs still frozen.
+    let sink = SharedBuf::default();
+    telemetry.attach_trace_writer(Box::new(sink.clone()));
+    for threads in [1, 4] {
+        assert_eq!(
+            rayon::with_thread_count(threads, workload),
+            baseline,
+            "tracing output drifted at {threads} threads"
+        );
+    }
+    telemetry.flush_traces();
+    telemetry.detach_trace_writer();
+    telemetry.set_enabled(was_enabled);
+
+    // The trace stream is newline-delimited JSON naming the spans we ran.
+    let raw = sink.0.lock().unwrap().clone();
+    let text = String::from_utf8(raw).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "tracing produced no events");
+    assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')), "non-JSON trace line");
+    assert!(lines.iter().any(|l| l.contains("\"engine.conjunction_reach\"")), "{text}");
+    assert!(lines.iter().any(|l| l.contains("\"uniqueness.fit\"")), "{text}");
+}
