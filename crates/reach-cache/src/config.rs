@@ -77,6 +77,7 @@ impl CacheConfig {
 /// Parses a positive integer from the environment; `None` when absent,
 /// unparseable, or zero.
 fn parse_env(name: &str) -> Option<usize> {
+    // lint:allow(env-read-outside-config) — parsing helper invoked only by CacheConfig::from_env
     std::env::var(name).ok()?.trim().parse::<usize>().ok().filter(|&n| n >= 1)
 }
 

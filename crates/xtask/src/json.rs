@@ -1,0 +1,353 @@
+//! Minimal, dependency-free JSON: a canonical emitter and a strict parser.
+//!
+//! The lint CLI's `--format json` output is a **stable machine-readable
+//! contract** (see DESIGN.md §8.2): object keys are emitted in fixed order,
+//! without whitespace, with a canonical escape set — so the same findings
+//! always serialize to the same bytes, and `scripts/check.sh` can assert
+//! `parse(emit(x)) == x` *and* `emit(parse(text)) == text` byte-for-byte.
+//!
+//! Numbers are restricted to integers (every numeric field in the
+//! diagnostics format is a line, column or count); the parser keeps the raw
+//! digit string so re-emission is exact.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Object member order is preserved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw text for exact round-tripping.
+    Num(String),
+    /// A string (decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, members in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Serializes canonically: no whitespace, members in stored order,
+    /// minimal escapes (`\"`, `\\`, `\n`, `\r`, `\t`, `\u00XX` for other
+    /// control characters; everything else — including non-ASCII — raw).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(raw) => out.push_str(raw),
+            Value::Str(s) => write_escaped(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Convenience constructor for an integer.
+    pub fn int(n: usize) -> Value {
+        Value::Num(n.to_string())
+    }
+
+    /// Looks up a member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// A human-readable description with the byte offset of the problem.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain bytes in one slice for UTF-8 safety.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 at byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or(format!("bad \\u escape at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            self.pos += 4;
+                            // Surrogates are not emitted by our writer;
+                            // reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or(format!("surrogate \\u escape at byte {}", self.pos))?;
+                            out.push(c);
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                _ => return Err(format!("unterminated string at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start || (self.pos == start + 1 && self.bytes[start] == b'-') {
+            return Err(format!("invalid number at byte {start}"));
+        }
+        // The diagnostics format is integer-only; reject fractions so a
+        // malformed document cannot silently round-trip differently.
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(format!("non-integer number at byte {start}"));
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-UTF-8 number".to_string())?;
+        Ok(Value::Num(raw.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let value = Value::Obj(vec![
+            ("a".into(), Value::int(3)),
+            ("b".into(), Value::Str("x\"y\\z\n—".into())),
+            ("c".into(), Value::Arr(vec![Value::Bool(true), Value::Null])),
+        ]);
+        let text = value.to_json_string();
+        let back = parse(&text).expect("canonical output parses");
+        assert_eq!(back, value);
+        assert_eq!(back.to_json_string(), text, "byte-identical re-emission");
+    }
+
+    #[test]
+    fn parses_whitespace_and_preserves_member_order() {
+        let text = " { \"z\" : 1 , \"a\" : [ 2 , 3 ] } ";
+        let value = parse(text).expect("parses");
+        assert_eq!(
+            value,
+            Value::Obj(vec![
+                ("z".into(), Value::int(1)),
+                ("a".into(), Value::Arr(vec![Value::int(2), Value::int(3)])),
+            ])
+        );
+        assert_eq!(value.to_json_string(), "{\"z\":1,\"a\":[2,3]}");
+    }
+
+    #[test]
+    fn control_chars_escape_canonically() {
+        let value = Value::Str("\u{1}".into());
+        assert_eq!(value.to_json_string(), "\"\\u0001\"");
+        assert_eq!(parse("\"\\u0001\"").expect("parses"), value);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1.5").is_err(), "diagnostics are integer-only");
+        assert!(parse("{}extra").is_err());
+        assert!(parse("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn get_looks_up_members() {
+        let value = parse("{\"summary\":{\"files\":7}}").expect("parses");
+        let files = value.get("summary").and_then(|s| s.get("files"));
+        assert_eq!(files, Some(&Value::Num("7".into())));
+        assert_eq!(value.get("missing"), None);
+    }
+}

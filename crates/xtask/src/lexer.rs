@@ -1,0 +1,564 @@
+//! A dependency-free Rust lexer producing a token stream with spans.
+//!
+//! The lint engine's foundation: instead of matching substrings against raw
+//! lines (which misfires inside block comments, raw strings and multi-line
+//! string literals), every file is tokenized once and the rules walk the
+//! token stream. The lexer handles the full literal surface this workspace
+//! uses:
+//!
+//! * `//` line comments and **nested** `/* /* */ */` block comments
+//!   (possibly spanning many lines);
+//! * string literals with escapes, including multi-line strings;
+//! * raw strings `r"…"` / `r#"…"#` with any number of hashes, byte strings
+//!   `b"…"`, raw byte strings `br#"…"#`;
+//! * char literals (`'a'`, `'\n'`, `'"'`, `'\u{1F600}'`), byte chars
+//!   (`b'x'`), and lifetimes (`'a`, `'static`, `'_`);
+//! * raw identifiers (`r#fn`);
+//! * integer vs float literals (`1.5`, `1.`, `1e-3`, `1_000.25f64`, hex /
+//!   octal / binary ints, tuple indices like `pair.0` stay integers);
+//! * multi-char operators (`==`, `!=`, `<=`, `::`, `..=`, …) joined
+//!   greedily, so `<=` can never be mistaken for `=` + `=`.
+//!
+//! It is a *lossy* lexer by design: tokens carry their exact source text and
+//! a `(line, col)` start position, but no trivia — whitespace is dropped and
+//! comments are ordinary tokens the rules can filter or inspect (the waiver
+//! parser reads them; pattern rules skip them).
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, stored unprefixed).
+    Ident,
+    /// Lifetime (`'a`, `'static`, `'_`) — stored with the leading quote.
+    Lifetime,
+    /// Integer literal (any base, with suffix/underscores).
+    Int,
+    /// Floating-point literal (`1.0`, `1.`, `1e-3`, `2.5f32`).
+    Float,
+    /// String literal of any flavour: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#` — possibly spanning multiple lines.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'x'`).
+    Char,
+    /// `// …` line comment (text excludes the newline).
+    LineComment,
+    /// `/* … */` block comment, nesting-aware, possibly multi-line.
+    BlockComment,
+    /// Operator / punctuation, multi-char ops pre-joined (`==`, `::`, …).
+    Punct,
+}
+
+/// One token with its source text and 1-based start position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Exact source text (for `Ident`: without the `r#` prefix).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: usize,
+}
+
+impl Token {
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Three-char operators, longest-match-first within their length class.
+const PUNCT3: [&str; 4] = ["..=", "...", "<<=", ">>="];
+/// Two-char operators.
+const PUNCT2: [&str; 19] = [
+    "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=", "|=", "<<",
+];
+
+/// Cursor over the source with line/col bookkeeping.
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Cursor {
+    fn new(source: &str) -> Self {
+        Self { chars: source.chars().collect(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes `n` chars, returning them as a String.
+    fn take(&mut self, n: usize) -> String {
+        let mut out = String::new();
+        for _ in 0..n {
+            match self.bump() {
+                Some(c) => out.push(c),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `source`. Never fails: unterminated literals run to the end of
+/// input and lone unexpected characters become single-char `Punct` tokens,
+/// so the rules always see *something* sensible for malformed input.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(source);
+    let mut tokens = Vec::new();
+
+    while let Some(c) = cur.peek(0) {
+        // Whitespace: skip.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let (line, col) = (cur.line, cur.col);
+        let push = |tokens: &mut Vec<Token>, kind, text| {
+            tokens.push(Token { kind, text, line, col });
+        };
+
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            push(&mut tokens, TokenKind::LineComment, text);
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = cur.take(2);
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push_str(&cur.take(2));
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        text.push_str(&cur.take(2));
+                    }
+                    (Some(_), _) => text.push_str(&cur.take(1)),
+                    (None, _) => break,
+                }
+            }
+            push(&mut tokens, TokenKind::BlockComment, text);
+            continue;
+        }
+
+        // Raw strings / raw identifiers: r"…", r#"…"#, r#ident.
+        if c == 'r' {
+            if let Some(text) = lex_raw_string(&mut cur, 1) {
+                push(&mut tokens, TokenKind::Str, text);
+                continue;
+            }
+            if cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) {
+                cur.take(2); // r#
+                let mut text = String::new();
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    text.push(cur.bump().unwrap_or_default());
+                }
+                push(&mut tokens, TokenKind::Ident, text);
+                continue;
+            }
+        }
+
+        // Byte strings / byte chars: b"…", br#"…"#, b'x'.
+        if c == 'b' {
+            if cur.peek(1) == Some('"') {
+                let mut text = cur.take(1);
+                text.push_str(&lex_plain_string(&mut cur));
+                push(&mut tokens, TokenKind::Str, text);
+                continue;
+            }
+            if cur.peek(1) == Some('r') {
+                if let Some(text) = lex_raw_string(&mut cur, 2) {
+                    push(&mut tokens, TokenKind::Str, text);
+                    continue;
+                }
+            }
+            if cur.peek(1) == Some('\'') {
+                let mut text = cur.take(1);
+                text.push_str(&lex_char_body(&mut cur));
+                push(&mut tokens, TokenKind::Char, text);
+                continue;
+            }
+        }
+
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                text.push(cur.bump().unwrap_or_default());
+            }
+            push(&mut tokens, TokenKind::Ident, text);
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let (text, kind) = lex_number(&mut cur);
+            push(&mut tokens, kind, text);
+            continue;
+        }
+
+        // Plain strings.
+        if c == '"' {
+            let text = lex_plain_string(&mut cur);
+            push(&mut tokens, TokenKind::Str, text);
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            let first = cur.peek(1);
+            let is_char = match first {
+                Some('\\') => true,
+                // 'x' — any single char directly followed by a closing quote
+                // (covers '"', ' ', 'a'); lifetimes have no closing quote.
+                Some(_) => cur.peek(2) == Some('\''),
+                None => false,
+            };
+            if is_char {
+                let text = lex_char_body(&mut cur);
+                push(&mut tokens, TokenKind::Char, text);
+            } else {
+                // Lifetime: quote + ident chars.
+                let mut text = cur.take(1);
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    text.push(cur.bump().unwrap_or_default());
+                }
+                push(&mut tokens, TokenKind::Lifetime, text);
+            }
+            continue;
+        }
+
+        // Punctuation, multi-char greedy.
+        let grab =
+            |cur: &Cursor, n: usize| -> String { (0..n).filter_map(|i| cur.peek(i)).collect() };
+        let three = grab(&cur, 3);
+        if PUNCT3.contains(&three.as_str()) {
+            push(&mut tokens, TokenKind::Punct, cur.take(3));
+            continue;
+        }
+        let two = grab(&cur, 2);
+        if PUNCT2.contains(&two.as_str()) {
+            push(&mut tokens, TokenKind::Punct, cur.take(2));
+            continue;
+        }
+        push(&mut tokens, TokenKind::Punct, cur.take(1));
+    }
+    tokens
+}
+
+/// Lexes `"…"` with escape handling (cursor on the opening quote).
+/// Multi-line strings are consumed wholesale; unterminated ones run out.
+fn lex_plain_string(cur: &mut Cursor) -> String {
+    let mut text = cur.take(1); // opening "
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push_str(&cur.take(2));
+            continue;
+        }
+        text.push_str(&cur.take(1));
+        if c == '"' {
+            break;
+        }
+    }
+    text
+}
+
+/// Lexes a raw (byte) string starting `prefix_len` chars before the hashes
+/// (`r` → 1, `br` → 2). Returns `None` if the cursor is not actually at a
+/// raw string (e.g. `r#ident` or a plain identifier starting with r).
+fn lex_raw_string(cur: &mut Cursor, prefix_len: usize) -> Option<String> {
+    let mut hashes = 0usize;
+    while cur.peek(prefix_len + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(prefix_len + hashes) != Some('"') {
+        return None;
+    }
+    let mut text = cur.take(prefix_len + hashes + 1);
+    // Scan for `"` followed by `hashes` hashes.
+    'outer: while let Some(c) = cur.peek(0) {
+        if c == '"' {
+            for i in 0..hashes {
+                if cur.peek(1 + i) != Some('#') {
+                    text.push_str(&cur.take(1));
+                    continue 'outer;
+                }
+            }
+            text.push_str(&cur.take(1 + hashes));
+            break;
+        }
+        text.push_str(&cur.take(1));
+    }
+    Some(text)
+}
+
+/// Lexes the `'…'` part of a char literal (cursor on the opening quote).
+fn lex_char_body(cur: &mut Cursor) -> String {
+    let mut text = cur.take(1); // opening '
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push_str(&cur.take(2));
+            continue;
+        }
+        text.push_str(&cur.take(1));
+        if c == '\'' {
+            break;
+        }
+        // Safety valve: a malformed literal never swallows a whole line.
+        if c == '\n' {
+            break;
+        }
+    }
+    text
+}
+
+/// Lexes a numeric literal (cursor on the first digit). Distinguishes
+/// integers from floats per Rust's rules: a float needs a fractional dot
+/// (not followed by an identifier or another dot) or an exponent.
+fn lex_number(cur: &mut Cursor) -> (String, TokenKind) {
+    let mut text = String::new();
+    // Radix prefixes are always integers.
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B')) {
+        text.push_str(&cur.take(2));
+        while cur.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+            text.push_str(&cur.take(1));
+        }
+        return (text, TokenKind::Int);
+    }
+    let mut is_float = false;
+    while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+        text.push_str(&cur.take(1));
+    }
+    // Fractional part: `.` not followed by `.` (range) or ident-start
+    // (method call / field). `.` followed by a digit or by nothing/space
+    // makes a float (`1.5`, `1.`).
+    if cur.peek(0) == Some('.') {
+        let next = cur.peek(1);
+        let fractional = match next {
+            Some('.') => false,
+            Some(c) if is_ident_start(c) => false,
+            _ => true,
+        };
+        if fractional {
+            is_float = true;
+            text.push_str(&cur.take(1));
+            while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                text.push_str(&cur.take(1));
+            }
+        }
+    }
+    // Exponent: e/E followed by optional sign and a digit.
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let (sign, digit) = match cur.peek(1) {
+            Some('+' | '-') => (1, cur.peek(2)),
+            other => (0, other),
+        };
+        if digit.is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            text.push_str(&cur.take(1 + sign));
+            while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                text.push_str(&cur.take(1));
+            }
+        }
+    }
+    // Type suffix (`f64`, `u32`, …): a float suffix forces float-ness.
+    if cur.peek(0).is_some_and(is_ident_start) {
+        let mut suffix = String::new();
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            suffix.push_str(&cur.take(1));
+        }
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+        text.push_str(&suffix);
+    }
+    (text, if is_float { TokenKind::Float } else { TokenKind::Int })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = lex("fn main() { a == b; c <= d }");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["fn", "main", "(", ")", "{", "a", "==", "b", ";", "c", "<=", "d", "}"]);
+        assert_eq!(toks[6].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn spans_are_one_based_line_col() {
+        let toks = lex("a\n  bb\n");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let toks = lex("a /* x /* y */ z */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].kind, TokenKind::BlockComment);
+        assert_eq!(toks[1].text, "/* x /* y */ z */");
+        assert!(toks[2].is_ident("b"));
+    }
+
+    #[test]
+    fn multi_line_block_comment_tracks_lines() {
+        let toks = lex("/* line1\nline2\n*/ after");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn raw_string_with_quotes_and_hashes() {
+        let toks = lex(r####"let s = r#"contains " quote"#; x"####);
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).expect("string token");
+        assert_eq!(s.text, r###"r#"contains " quote"#"###);
+        assert!(toks.last().expect("tokens").is_ident("x"));
+    }
+
+    #[test]
+    fn raw_identifier_is_ident_not_string() {
+        let toks = lex("r#fn x");
+        assert_eq!(toks[0].kind, TokenKind::Ident);
+        assert_eq!(toks[0].text, "fn");
+        assert!(toks[1].is_ident("x"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"b"bytes" br#"raw"# b'x'"##);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1].0, TokenKind::Str);
+        assert_eq!(toks[2].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn multi_line_string_is_one_token() {
+        let toks = lex("let s = \"one\ntwo .unwrap() three\n\"; done");
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).expect("string token");
+        assert!(s.text.contains("unwrap"));
+        assert!(toks.last().expect("tokens").is_ident("done"));
+    }
+
+    #[test]
+    fn char_literal_quote_then_code() {
+        let toks = lex("c == '\"' && f()");
+        assert_eq!(toks[2].kind, TokenKind::Char);
+        assert_eq!(toks[2].text, "'\"'");
+        assert!(toks[3].is_punct("&&"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = lex(r"'\n' '\'' '\u{1F600}'");
+        assert!(toks.iter().all(|t| t.kind == TokenKind::Char), "{toks:?}");
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str, y: &'static u8, z: &'_ u8) {}");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static", "'_"]);
+    }
+
+    #[test]
+    fn number_classification() {
+        assert_eq!(kinds("1")[0].0, TokenKind::Int);
+        assert_eq!(kinds("1.5")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1.")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1e-3")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1E9")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1_000.25f64")[0].0, TokenKind::Float);
+        assert_eq!(kinds("2f64")[0].0, TokenKind::Float);
+        assert_eq!(kinds("0xFF")[0].0, TokenKind::Int);
+        assert_eq!(kinds("1_000u64")[0].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn tuple_index_and_method_calls_are_not_floats() {
+        // pair.0 → ident, '.', int
+        let toks = kinds("pair.0");
+        assert_eq!(toks[2].0, TokenKind::Int);
+        // 1.max(2) → int, '.', ident
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::Int, "1".into()));
+        assert_eq!(toks[2], (TokenKind::Ident, "max".into()));
+        // 0..10 → int, '..', int
+        let toks = kinds("0..10");
+        assert_eq!(toks[0].0, TokenKind::Int);
+        assert_eq!(toks[1], (TokenKind::Punct, "..".into()));
+        assert_eq!(toks[2].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn range_ops_and_comparison_joins() {
+        let toks = kinds("a..=b x >= y z != w p => q");
+        let puncts: Vec<String> =
+            toks.into_iter().filter(|(k, _)| *k == TokenKind::Punct).map(|(_, t)| t).collect();
+        assert_eq!(puncts, ["..=", ">=", "!=", "=>"]);
+    }
+
+    #[test]
+    fn unterminated_string_runs_to_end() {
+        let toks = lex("let s = \"never closed");
+        assert_eq!(toks.last().expect("tokens").kind, TokenKind::Str);
+    }
+}

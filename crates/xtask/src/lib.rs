@@ -1,138 +1,73 @@
-//! Offline workspace lint engine.
+//! Offline workspace lint engine, token-level edition.
 //!
-//! A deliberately small, dependency-free line-level analyzer (`no syn`, no
-//! proc-macro machinery) that enforces the workspace's reproducibility and
-//! robustness rules:
+//! A deliberately dependency-free analyzer (no `syn`, no proc-macro
+//! machinery) built on a real Rust lexer ([`lexer`]): every file is
+//! tokenized — nested block comments, raw strings (`r#"…"#`), byte strings,
+//! multi-line string literals, char literals and lifetimes all handled — and
+//! the rules walk the token stream. That kills both false-positive classes
+//! of the old line-local substring scanner (`.unwrap()` inside a block
+//! comment, `panic!(` inside a multi-line string) and its false negatives
+//! (a comparison split across lines).
 //!
-//! * [`Rule::NoUnwrap`] — no `unwrap()` / `expect(` / `panic!(` in
-//!   library-crate non-test code; propagate `Result`s instead.
-//! * [`Rule::NondeterministicRng`] — no `thread_rng()` / `from_entropy()` /
-//!   `rand::random` in simulation crates: every sampled quantity must come
-//!   from a seeded generator or runs are not reproducible.
-//! * [`Rule::FloatEq`] — no `==` / `!=` against float literals; compare
-//!   with an explicit tolerance.
-//! * [`Rule::UnjustifiedAllow`] — no `#[allow(...)]` / `#![allow(...)]`
-//!   without a justification comment on the same or the preceding line.
-//! * [`Rule::ThreadSpawn`] — no direct `std::thread::spawn` in library
-//!   crates: CPU parallelism must go through the vendored rayon pool so
-//!   `UOF_THREADS` and the deterministic-reduction contract apply.
-//!   `reach-api` (thread-per-connection I/O, not data parallelism) is
-//!   exempt, as are tests, benches and binaries.
-//! * [`Rule::NoPrintInLibrary`] — no `println!` / `eprintln!` (or their
-//!   non-newline variants) in library crates: diagnostics belong in the
-//!   `uof-telemetry` registry / trace writer, not on a shared process's
-//!   stdio. Binaries, tests, the `xtask` CLI and the `bench` reporting
-//!   harness are exempt.
+//! The rules enforce the workspace's reproducibility and robustness
+//! contracts (see DESIGN.md §8.2 for the authoritative table):
+//!
+//! * [`Rule::NoUnwrap`], [`Rule::NondeterministicRng`], [`Rule::FloatEq`],
+//!   [`Rule::UnjustifiedAllow`], [`Rule::ThreadSpawn`],
+//!   [`Rule::NoPrintInLibrary`] — carried over from the line engine,
+//!   re-expressed as token patterns;
+//! * [`Rule::EnvReadOutsideConfig`] — only `from_env`-style constructors
+//!   may read `UOF_*` environment knobs (explicit configs stay immune to
+//!   the CI sweeps);
+//! * [`Rule::HashMapIteration`] — no hash-order iteration in
+//!   simulation/cache code whose outputs must be bit-identical;
+//! * [`Rule::WallclockInSim`] — no `Instant::now` / `SystemTime::now` in
+//!   simulation crates (telemetry and server rate limiting are exempt by
+//!   class);
+//! * [`Rule::BadWaiver`] — a `lint:allow` with an unknown rule name,
+//!   missing reason or unterminated marker is itself an error, so a typo
+//!   can never silently waive nothing.
 //!
 //! Findings can be waived inline with
 //! `// lint:allow(<rule>) — reason` on the offending line or the line
-//! directly above it; the reason is mandatory.  Test modules
-//! (`#[cfg(test)]`), `tests/`, `benches/`, `examples/` and binary targets
-//! (`src/bin/`, `src/main.rs`) are exempt from [`Rule::NoUnwrap`].
+//! directly above it; the reason is mandatory, and every waiver is
+//! inventoried (`cargo run -p xtask -- lint --waivers`) against
+//! [`WAIVER_BUDGET`]. Waived findings still appear in the JSON report with
+//! `"waived":true`.
 //!
 //! The engine is exposed as a library so the workspace test-suite can gate
 //! on it in-process (see `tests/lint_gate.rs` at the workspace root), and as
-//! a CLI via `cargo run -p xtask -- lint`.
+//! a CLI via `cargo run -p xtask -- lint [--format json] [--waivers]`. The
+//! workspace walk fans file analysis out through the vendored rayon pool
+//! and sorts findings by `(path, line, col)`, so the report — including the
+//! JSON bytes — is identical at any `UOF_THREADS`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod json;
+pub mod lexer;
+mod rules;
+
+pub use rules::{analyze_source, waivers_in_source, FileClass, Rule, Violation, Waiver};
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The lint rules the engine knows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Rule {
-    /// `unwrap()` / `expect(` / `panic!(` in library non-test code.
-    NoUnwrap,
-    /// Nondeterministic RNG construction in simulation crates.
-    NondeterministicRng,
-    /// `==` / `!=` against floating-point values.
-    FloatEq,
-    /// `#[allow(...)]` without a justification comment.
-    UnjustifiedAllow,
-    /// Direct `std::thread::spawn` in library code that should use the
-    /// vendored rayon pool instead.
-    ThreadSpawn,
-    /// `println!` / `eprintln!` / `print!` / `eprint!` in library code that
-    /// should report through the telemetry layer instead of stdio.
-    NoPrintInLibrary,
-}
+use rayon::prelude::*;
 
-impl Rule {
-    /// All rules, in reporting order.
-    pub const ALL: [Rule; 6] = [
-        Rule::NoUnwrap,
-        Rule::NondeterministicRng,
-        Rule::FloatEq,
-        Rule::UnjustifiedAllow,
-        Rule::ThreadSpawn,
-        Rule::NoPrintInLibrary,
-    ];
+/// Ceiling on the number of active waiver comments in the workspace,
+/// asserted by `tests/lint_gate.rs`. Raising it is a reviewed change to a
+/// checked-in file, not a drive-by: each waiver is debt against the
+/// reproducibility contract and the budget keeps the total visible.
+pub const WAIVER_BUDGET: usize = 24;
 
-    /// The rule's waiver / report name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Rule::NoUnwrap => "no-unwrap",
-            Rule::NondeterministicRng => "nondeterministic-rng",
-            Rule::FloatEq => "float-eq",
-            Rule::UnjustifiedAllow => "unjustified-allow",
-            Rule::ThreadSpawn => "thread-spawn",
-            Rule::NoPrintInLibrary => "no-print-in-library",
-        }
-    }
-
-    /// Parses a waiver name back to a rule.
-    pub fn from_name(name: &str) -> Option<Rule> {
-        Rule::ALL.into_iter().find(|r| r.name() == name)
-    }
-}
-
-impl fmt::Display for Rule {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// How a file participates in linting, derived from its path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FileClass {
-    /// Library (non-test, non-bin) code: [`Rule::NoUnwrap`] applies.
-    pub library: bool,
-    /// Simulation crate: [`Rule::NondeterministicRng`] applies.
-    pub simulation: bool,
-    /// Library code that must parallelise through the vendored rayon pool:
-    /// [`Rule::ThreadSpawn`] applies.
-    pub thread_policed: bool,
-    /// Library code that must not write to stdio:
-    /// [`Rule::NoPrintInLibrary`] applies.
-    pub print_policed: bool,
-}
-
-impl FileClass {
-    /// Class under which every rule fires — what the unit-test fixtures use.
-    pub const STRICT: Self =
-        Self { library: true, simulation: true, thread_policed: true, print_policed: true };
-}
-
-/// One lint finding.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Violation {
-    /// The violated rule.
-    pub rule: Rule,
-    /// 1-based line number.
-    pub line: usize,
-    /// The offending line, trimmed.
-    pub excerpt: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: [{}] {}", self.line, self.rule, self.excerpt)
-    }
-}
+/// Top-level directories `lint_workspace` walks, the single source of truth
+/// `classify` is tested against (everything else at the root — `vendor/`,
+/// `target/`, `scripts/` — is out of scope).
+pub const WALK_DIRS: [&str; 5] = ["crates", "src", "tests", "examples", "benches"];
 
 /// A finding attached to the file it came from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,301 +82,122 @@ impl fmt::Display for FileViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
+            "{}:{}:{}: [{}] {}",
             self.path.display(),
             self.violation.line,
+            self.violation.col,
             self.violation.rule,
             self.violation.excerpt
         )
     }
 }
 
-/// Waivers parsed from one line: `// lint:allow(rule-a, rule-b) — reason`.
-/// Returns `None` when no waiver marker is present, `Some(vec![])` when a
-/// marker exists but is malformed (no closing paren or empty reason) — a
-/// malformed waiver waives nothing.
-fn parse_waivers(line: &str) -> Option<Vec<Rule>> {
-    let marker = line.find("lint:allow(")?;
-    let after = &line[marker + "lint:allow(".len()..];
-    let close = match after.find(')') {
-        Some(c) => c,
-        None => return Some(Vec::new()),
-    };
-    let reason = after[close + 1..].trim_start_matches([' ', '\u{2014}', '-', ':']);
-    if reason.trim().is_empty() {
-        return Some(Vec::new());
-    }
-    Some(after[..close].split(',').filter_map(|name| Rule::from_name(name.trim())).collect())
+/// A waiver attached to the file it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverSite {
+    /// Path relative to the lint root.
+    pub path: PathBuf,
+    /// The parsed waiver.
+    pub waiver: Waiver,
 }
 
-/// Strips string-literal contents and trailing `//` comments so pattern
-/// matching cannot fire inside either.  The waiver comment (if any) must be
-/// parsed from the raw line *before* calling this.  Char/lifetime quotes and
-/// raw strings are handled well enough for this workspace's code; the
-/// approach is line-local by design.
-fn scannable(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    while let Some(c) = chars.next() {
-        if in_str {
-            match c {
-                '\\' => {
-                    chars.next();
-                }
-                '"' => {
-                    in_str = false;
-                    out.push('"');
-                }
-                _ => {}
-            }
-            continue;
-        }
-        match c {
-            '"' => {
-                in_str = true;
-                out.push('"');
-            }
-            // A char literal like '"' or 'a': skip it wholesale so its
-            // payload cannot open a bogus string.  Lifetimes ('a without a
-            // closing quote) pass through unharmed.
-            '\'' => {
-                let mut look = chars.clone();
-                let first = look.next();
-                if first == Some('\\') {
-                    look.next();
-                }
-                if look.peek() == Some(&'\'') {
-                    if first == Some('\\') {
-                        chars.next();
-                    }
-                    chars.next();
-                    chars.next();
-                    out.push_str("' '");
-                } else {
-                    out.push('\'');
-                }
-            }
-            '/' if chars.peek() == Some(&'/') => break,
-            _ => out.push(c),
-        }
+impl fmt::Display for WaiverSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rules: Vec<&str> = self.waiver.rules.iter().map(|r| r.name()).collect();
+        write!(
+            f,
+            "{}:{} [{}] {}",
+            self.path.display(),
+            self.waiver.line,
+            rules.join(", "),
+            self.waiver.reason
+        )
     }
-    out
 }
 
-/// Whether a scannable line contains `==` or `!=` with a float literal on
-/// either side of it (e.g. `x == 0.0`, `1.5!=y`).
-fn has_float_comparison(code: &str) -> bool {
-    let bytes = code.as_bytes();
-    for i in 0..bytes.len().saturating_sub(1) {
-        let op = match (bytes[i], bytes[i + 1]) {
-            (b'=', b'=') | (b'!', b'=') => true,
-            _ => false,
-        };
-        if !op {
-            continue;
-        }
-        // `<=`, `>=`, `=>`, `===`-like runs: require a non-`=`/`<`/`>`/`!`
-        // on the left and no `=` on the right.
-        if i > 0 && matches!(bytes[i - 1], b'=' | b'<' | b'>' | b'!') {
-            continue;
-        }
-        if bytes.get(i + 2) == Some(&b'=') {
-            continue;
-        }
-        if is_float_literal_end(&code[..i]) || is_float_literal_start(&code[i + 2..]) {
-            return true;
-        }
-    }
-    false
+/// The full result of linting a workspace: every finding (waived ones
+/// flagged, not dropped) plus the file count, sorted `(path, line, col)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Number of files analyzed (classified in-scope).
+    pub files: usize,
+    /// All findings, sorted by `(path, line, col, rule)`.
+    pub findings: Vec<FileViolation>,
 }
 
-/// Whether the text ends (modulo spaces) with a float literal like `0.` /
-/// `0.0` / `1e-3` / `1.0f64`.
-fn is_float_literal_end(text: &str) -> bool {
-    let t = text.trim_end();
-    let tail: String = t
-        .chars()
-        .rev()
-        .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+'))
-        .collect::<Vec<_>>()
-        .into_iter()
-        .rev()
-        .collect();
-    // `pair.0` / `xs[1].0` are tuple-field accesses, not literals: a tail
-    // starting with `.` counts only when nothing indexable precedes it.
-    if tail.starts_with('.') {
-        let preceding = t[..t.len() - tail.len()].chars().next_back();
-        if preceding.is_some_and(|c| c == ']' || c == ')' || c.is_alphanumeric() || c == '_') {
-            return false;
+impl Report {
+    /// Findings not covered by a waiver — what fails the gate.
+    pub fn active(&self) -> impl Iterator<Item = &FileViolation> {
+        self.findings.iter().filter(|f| !f.violation.waived)
+    }
+
+    /// Serializes the report to the stable machine-readable JSON format:
+    ///
+    /// ```json
+    /// {"findings":[{"path":…,"line":…,"col":…,"rule":…,"severity":…,
+    ///   "excerpt":…,"waived":…},…],
+    ///  "summary":{"files":…,"total":…,"active":…,"waived":…,
+    ///   "per_rule":{"no-unwrap":{"active":…,"waived":…},…}}}
+    /// ```
+    ///
+    /// Key order, member order and escaping are canonical (see [`json`]),
+    /// and findings are pre-sorted — the same tree always produces the same
+    /// bytes, at any thread count.
+    pub fn to_json(&self) -> String {
+        use json::Value;
+        let findings: Vec<Value> = self
+            .findings
+            .iter()
+            .map(|f| {
+                Value::Obj(vec![
+                    ("path".into(), Value::Str(f.path.display().to_string())),
+                    ("line".into(), Value::int(f.violation.line)),
+                    ("col".into(), Value::int(f.violation.col)),
+                    ("rule".into(), Value::Str(f.violation.rule.name().into())),
+                    ("severity".into(), Value::Str(f.violation.rule.severity().into())),
+                    ("excerpt".into(), Value::Str(f.violation.excerpt.clone())),
+                    ("waived".into(), Value::Bool(f.violation.waived)),
+                ])
+            })
+            .collect();
+        let mut per_rule = Vec::new();
+        for rule in Rule::ALL {
+            let active = self
+                .findings
+                .iter()
+                .filter(|f| f.violation.rule == rule && !f.violation.waived)
+                .count();
+            let waived = self
+                .findings
+                .iter()
+                .filter(|f| f.violation.rule == rule && f.violation.waived)
+                .count();
+            per_rule.push((
+                rule.name().to_string(),
+                Value::Obj(vec![
+                    ("active".into(), Value::int(active)),
+                    ("waived".into(), Value::int(waived)),
+                ]),
+            ));
         }
+        let waived_total = self.findings.iter().filter(|f| f.violation.waived).count();
+        let summary = Value::Obj(vec![
+            ("files".into(), Value::int(self.files)),
+            ("total".into(), Value::int(self.findings.len())),
+            ("active".into(), Value::int(self.findings.len() - waived_total)),
+            ("waived".into(), Value::int(waived_total)),
+            ("per_rule".into(), Value::Obj(per_rule)),
+        ]);
+        Value::Obj(vec![("findings".into(), Value::Arr(findings)), ("summary".into(), summary)])
+            .to_json_string()
     }
-    looks_like_float(&tail)
 }
 
-/// Whether the text starts (modulo spaces) with a float literal.
-fn is_float_literal_start(text: &str) -> bool {
-    let t = text.trim_start();
-    let head: String = t
-        .chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+'))
-        .collect();
-    looks_like_float(&head)
-}
-
-/// `0.0`, `1.`, `.5`, `1e-3`, `1_000.25f64`, `f64::EPSILON`-free check of a
-/// single token-ish string.
-fn looks_like_float(token: &str) -> bool {
-    let token = token.trim_start_matches(['-', '+']);
-    let numeric = token.trim_end_matches("f64").trim_end_matches("f32");
-    if numeric.is_empty() || !numeric.starts_with(|c: char| c.is_ascii_digit() || c == '.') {
-        return false;
-    }
-    let mut saw_digit = false;
-    let mut saw_dot_or_exp = false;
-    let mut chars = numeric.chars().peekable();
-    while let Some(c) = chars.next() {
-        match c {
-            '0'..='9' | '_' => saw_digit = true,
-            '.' => {
-                // A method call like `1.max(2)` is not a float literal; a
-                // bare trailing dot (`1. == x`) is.
-                if chars.peek().is_some_and(|n| n.is_ascii_alphabetic()) {
-                    return false;
-                }
-                saw_dot_or_exp = true;
-            }
-            'e' | 'E' => {
-                if chars.peek().is_some_and(|n| n.is_ascii_digit() || *n == '-' || *n == '+') {
-                    saw_dot_or_exp = true;
-                    if chars.peek().is_some_and(|n| *n == '-' || *n == '+') {
-                        chars.next();
-                    }
-                } else {
-                    return false;
-                }
-            }
-            _ => return false,
-        }
-    }
-    saw_digit && saw_dot_or_exp
-}
-
-/// Lints one file's source under a [`FileClass`].
-///
-/// The analysis is line-level: each line is stripped of strings/comments,
-/// checked against the applicable rules, and findings are dropped when a
-/// waiver for that rule appears on the same or the preceding line.
-/// `#[cfg(test)]` regions are tracked by brace depth and exempted entirely.
+/// Lints one file's source under a [`FileClass`], returning only the
+/// **active** (unwaived) findings. Use [`analyze_source`] for the full
+/// list including waived findings.
 pub fn lint_source(source: &str, class: FileClass) -> Vec<Violation> {
-    let lines: Vec<&str> = source.lines().collect();
-    let mut violations = Vec::new();
-    // Depth of the `#[cfg(test)]` item's braces; `None` when outside.
-    let mut test_region: Option<i64> = None;
-    let mut pending_test_attr = false;
-
-    for (idx, raw) in lines.iter().enumerate() {
-        let code = scannable(raw);
-        let trimmed = raw.trim();
-
-        // --- test-region tracking -----------------------------------------
-        if test_region.is_none() && code.contains("#[cfg(test)]") {
-            pending_test_attr = true;
-        }
-        let opens = code.matches('{').count() as i64;
-        let closes = code.matches('}').count() as i64;
-        let in_test = if let Some(depth) = test_region.as_mut() {
-            *depth += opens - closes;
-            let still_inside = *depth > 0;
-            if !still_inside {
-                test_region = None;
-            }
-            true
-        } else if pending_test_attr && opens > 0 {
-            pending_test_attr = false;
-            let depth = opens - closes;
-            if depth > 0 {
-                test_region = Some(depth);
-            }
-            true
-        } else if pending_test_attr {
-            // Between the attribute and its item.  A brace-less item (an
-            // out-of-line `mod tests;`, a `#[cfg(test)] use …;`) consumes
-            // the attribute, so a later unrelated braced item is not
-            // silently exempted; attribute or comment lines keep it
-            // pending.
-            if code.trim_end().ends_with(';') {
-                pending_test_attr = false;
-            }
-            true
-        } else {
-            false
-        };
-
-        // --- waivers -------------------------------------------------------
-        let mut waived: Vec<Rule> = parse_waivers(raw).unwrap_or_default();
-        if idx > 0 {
-            if let Some(prev) = parse_waivers(lines[idx - 1]) {
-                waived.extend(prev);
-            }
-        }
-
-        let mut push = |rule: Rule, waived: &[Rule]| {
-            if !waived.contains(&rule) {
-                violations.push(Violation {
-                    rule,
-                    line: idx + 1,
-                    excerpt: trimmed.chars().take(120).collect(),
-                });
-            }
-        };
-
-        // --- rules ---------------------------------------------------------
-        if class.library && !in_test {
-            if code.contains(".unwrap()") || code.contains(".expect(") || code.contains("panic!(") {
-                push(Rule::NoUnwrap, &waived);
-            }
-        }
-        if class.simulation && !in_test {
-            if code.contains("thread_rng()")
-                || code.contains("from_entropy()")
-                || code.contains("rand::random")
-            {
-                push(Rule::NondeterministicRng, &waived);
-            }
-        }
-        if !in_test && has_float_comparison(&code) {
-            push(Rule::FloatEq, &waived);
-        }
-        if class.thread_policed && !in_test && code.contains("thread::spawn") {
-            push(Rule::ThreadSpawn, &waived);
-        }
-        if class.print_policed && !in_test {
-            // `eprintln!(` contains `println!(` as a substring (and
-            // `eprint!(` contains `print!(`), so one offending line matches
-            // several patterns — the `||` chain still pushes once.
-            if code.contains("println!(")
-                || code.contains("eprintln!(")
-                || code.contains("print!(")
-                || code.contains("eprint!(")
-            {
-                push(Rule::NoPrintInLibrary, &waived);
-            }
-        }
-        if code.contains("#[allow(") || code.contains("#![allow(") {
-            // Justified when the raw line (or its predecessor) carries any
-            // `//` comment text explaining it.
-            let own_comment = raw.find("//").is_some_and(|c| raw[c + 2..].trim().len() > 2);
-            let prev_comment = idx > 0 && {
-                let p = lines[idx - 1].trim();
-                p.starts_with("//") && p.trim_start_matches('/').trim().len() > 2
-            };
-            if !own_comment && !prev_comment {
-                push(Rule::UnjustifiedAllow, &waived);
-            }
-        }
-    }
-    violations
+    analyze_source(source, class).into_iter().filter(|v| !v.waived).collect()
 }
 
 /// Classifies a workspace-relative path; `None` means the file is out of
@@ -454,18 +210,19 @@ pub fn classify(rel: &Path) -> Option<FileClass> {
     if parts.first() == Some(&"vendor") || parts.first() == Some(&"target") {
         return None;
     }
-    // tests/, benches/, examples/ anywhere in the path: not library code,
-    // but float-eq and allow hygiene still apply.
+    // tests/, benches/, examples/ anywhere in the path — whether a
+    // root-level directory from WALK_DIRS or nested inside a crate: not
+    // library code, but float-eq and allow hygiene still apply.
     let test_like = parts.iter().any(|p| matches!(*p, "tests" | "benches" | "examples"));
     // Binary targets may talk to a terminal; unwraps there abort one run,
     // not a simulation library call.
-    let bin_like = parts.contains(&"bin")
-        || rel.file_name().and_then(|f| f.to_str()) == Some("main.rs")
-        || parts.first() == Some(&"scripts");
+    let bin_like =
+        parts.contains(&"bin") || rel.file_name().and_then(|f| f.to_str()) == Some("main.rs");
     let crate_name = if parts.first() == Some(&"crates") {
         parts.get(1).copied().unwrap_or("")
     } else {
-        // Workspace-root src/ belongs to the facade crate.
+        // Workspace-root src/, tests/, examples/ and benches/ belong to the
+        // facade crate.
         "unique-on-facebook"
     };
     let simulation = crate_name.starts_with("fbsim")
@@ -478,7 +235,24 @@ pub fn classify(rel: &Path) -> Option<FileClass> {
     // terminal; every other library crate must route diagnostics through
     // uof-telemetry rather than stdio.
     let print_policed = library && !matches!(crate_name, "xtask" | "bench");
-    Some(FileClass { library, simulation, thread_policed, print_policed })
+    // The env contract covers everything that is not a test: library code
+    // AND binaries must funnel UOF_* reads through from_env constructors.
+    let env_policed = !test_like;
+    // Bit-identity contract: simulation crates plus the reach cache (whose
+    // warm/cold answers must match the engine exactly).
+    let order_policed = library && (simulation || crate_name == "reach-cache");
+    // Simulated results must not observe the wall clock; telemetry (whose
+    // purpose is timing) and reach-api rate limiting are exempt by class.
+    let wallclock_policed = library && simulation;
+    Some(FileClass {
+        library,
+        simulation,
+        thread_policed,
+        print_policed,
+        env_policed,
+        order_policed,
+        wallclock_policed,
+    })
 }
 
 /// Recursively collects `.rs` files under `dir`, skipping `vendor/`,
@@ -501,29 +275,97 @@ fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()>
     Ok(())
 }
 
-/// Lints the whole workspace rooted at `root`.
+/// The sorted list of in-scope `.rs` files under `root` (relative paths,
+/// [`WALK_DIRS`] only, unclassifiable files excluded).
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from walking or reading the tree.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<FileViolation>> {
+/// Propagates I/O errors from walking the tree.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut files = Vec::new();
-    for top in ["crates", "src", "tests", "examples", "benches"] {
+    for top in WALK_DIRS {
         let dir = root.join(top);
         if dir.is_dir() {
             collect_rs(&dir, root, &mut files)?;
         }
     }
+    files.retain(|rel| classify(rel).is_some());
     files.sort();
+    Ok(files)
+}
+
+/// Lints the whole workspace rooted at `root`, returning the full
+/// [`Report`] (waived findings included).
+///
+/// Files are analyzed in parallel on the vendored rayon pool — honouring
+/// `UOF_THREADS` and `rayon::with_thread_count` — and findings are sorted
+/// by `(path, line, col, rule)`, so the report is bit-identical at any
+/// thread count.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_workspace_report(root: &Path) -> io::Result<Report> {
+    let files = workspace_files(root)?;
+    let per_file: Vec<io::Result<Vec<FileViolation>>> = files
+        .par_iter()
+        .map(|rel| {
+            let Some(class) = classify(rel) else { return Ok(Vec::new()) };
+            let source = fs::read_to_string(root.join(rel))?;
+            Ok(analyze_source(&source, class)
+                .into_iter()
+                .map(|violation| FileViolation { path: rel.clone(), violation })
+                .collect())
+        })
+        .collect();
     let mut findings = Vec::new();
-    for rel in files {
-        let Some(class) = classify(&rel) else { continue };
-        let source = fs::read_to_string(root.join(&rel))?;
-        for violation in lint_source(&source, class) {
-            findings.push(FileViolation { path: rel.clone(), violation });
-        }
+    for result in per_file {
+        findings.extend(result?);
     }
-    Ok(findings)
+    findings.sort_by(|a, b| {
+        let ka = (&a.path, a.violation.line, a.violation.col, a.violation.rule.name());
+        let kb = (&b.path, b.violation.line, b.violation.col, b.violation.rule.name());
+        ka.cmp(&kb)
+    });
+    Ok(Report { files: files.len(), findings })
+}
+
+/// Lints the whole workspace rooted at `root`, returning only the active
+/// (unwaived) findings — the gate's view.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<FileViolation>> {
+    let report = lint_workspace_report(root)?;
+    Ok(report.findings.into_iter().filter(|f| !f.violation.waived).collect())
+}
+
+/// Inventories every well-formed waiver in the workspace, sorted by
+/// `(path, line)`. Malformed waivers are not listed — they surface as
+/// [`Rule::BadWaiver`] findings in the lint report instead.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn waiver_inventory(root: &Path) -> io::Result<Vec<WaiverSite>> {
+    let files = workspace_files(root)?;
+    let per_file: Vec<io::Result<Vec<WaiverSite>>> = files
+        .par_iter()
+        .map(|rel| {
+            let source = fs::read_to_string(root.join(rel))?;
+            Ok(waivers_in_source(&source)
+                .into_iter()
+                .map(|waiver| WaiverSite { path: rel.clone(), waiver })
+                .collect())
+        })
+        .collect();
+    let mut waivers = Vec::new();
+    for result in per_file {
+        waivers.extend(result?);
+    }
+    waivers.sort_by(|a, b| (&a.path, a.waiver.line).cmp(&(&b.path, b.waiver.line)));
+    Ok(waivers)
 }
 
 #[cfg(test)]
@@ -534,6 +376,8 @@ mod tests {
         lint_source(source, FileClass::STRICT)
     }
 
+    // -- carried-over rule semantics ---------------------------------------
+
     #[test]
     fn flags_unwrap_expect_panic_in_library_code() {
         let src = "fn f() {\n    let x = g().unwrap();\n    let y = h().expect(\"nope\");\n    panic!(\"boom\");\n}\n";
@@ -541,6 +385,15 @@ mod tests {
         assert_eq!(v.len(), 3);
         assert!(v.iter().all(|v| v.rule == Rule::NoUnwrap));
         assert_eq!(v[0].line, 2);
+        assert!(v[0].col > 1, "column is recorded");
+    }
+
+    #[test]
+    fn unwrap_adjacent_names_do_not_fire() {
+        assert!(strict("fn f(x: Option<u8>) -> u8 { x.unwrap_or(3) }\n").is_empty());
+        assert!(strict("fn f(x: Option<u8>) -> u8 { x.unwrap_or_default() }\n").is_empty());
+        // `should_panic` contains `panic` as a substring but is one ident.
+        assert!(strict("fn f() -> &'static str { \"should_panic(expected)\" }\n").is_empty());
     }
 
     #[test]
@@ -559,13 +412,10 @@ mod tests {
 
     #[test]
     fn brace_less_cfg_test_item_does_not_exempt_later_code() {
-        // An out-of-line test module: the attribute applies to `mod tests;`
-        // only, so the following production fn is linted.
         let src = "#[cfg(test)]\nmod tests;\nfn after() { bar().unwrap(); }\n";
         let v = strict(src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 3);
-        // Same for a single-line gated import.
         let src = "#[cfg(test)] use helpers::fixture;\nfn after() { bar().unwrap(); }\n";
         let v = strict(src);
         assert_eq!(v.len(), 1);
@@ -574,17 +424,8 @@ mod tests {
 
     #[test]
     fn non_library_files_may_unwrap() {
-        let src = "fn main() { run().unwrap(); }\n";
-        let v = lint_source(
-            src,
-            FileClass {
-                library: false,
-                simulation: true,
-                thread_policed: false,
-                print_policed: false,
-            },
-        );
-        assert!(v.is_empty());
+        let class = FileClass { library: false, ..FileClass::STRICT };
+        assert!(lint_source("fn main() { run().unwrap(); }\n", class).is_empty());
     }
 
     #[test]
@@ -593,16 +434,9 @@ mod tests {
         let v = strict(src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::NondeterministicRng);
-        let v = lint_source(
-            src,
-            FileClass {
-                library: true,
-                simulation: false,
-                thread_policed: true,
-                print_policed: true,
-            },
-        );
-        assert!(v.is_empty());
+        let class = FileClass { simulation: false, ..FileClass::STRICT };
+        assert!(lint_source(src, class).is_empty());
+        assert_eq!(strict("fn f() -> u8 { rand::random() }\n").len(), 1);
     }
 
     #[test]
@@ -611,24 +445,11 @@ mod tests {
         let v = strict(src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::ThreadSpawn);
-        // Bare `thread::spawn` (with `use std::thread`) is caught too.
-        let bare = "fn f() {\n    thread::spawn(|| 1);\n}\n";
-        assert_eq!(strict(bare)[0].rule, Rule::ThreadSpawn);
-        // Exempt where the class says spawning is fine (reach-api, bins).
-        let v = lint_source(
-            src,
-            FileClass {
-                library: true,
-                simulation: false,
-                thread_policed: false,
-                print_policed: true,
-            },
-        );
-        assert!(v.is_empty());
-        // Test modules may spawn.
+        assert_eq!(strict("fn f() {\n    thread::spawn(|| 1);\n}\n")[0].rule, Rule::ThreadSpawn);
+        let class = FileClass { thread_policed: false, ..FileClass::STRICT };
+        assert!(lint_source(src, class).is_empty());
         let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| 1); }\n}\n";
         assert!(strict(test_src).is_empty());
-        // Waivable with a reason.
         let waived =
             "fn f() {\n    // lint:allow(thread-spawn) — watchdog timer, not data parallelism\n    std::thread::spawn(|| 1);\n}\n";
         assert!(strict(waived).is_empty());
@@ -640,33 +461,14 @@ mod tests {
         let v = strict(src);
         assert_eq!(v.len(), 4, "{v:?}");
         assert!(v.iter().all(|v| v.rule == Rule::NoPrintInLibrary));
-        assert_eq!(v[0].line, 2);
-        // An eprintln! line is one finding, not two, even though its text
-        // contains `println!(` as a substring.
-        let one = strict("fn f() { eprintln!(\"x\"); }\n");
-        assert_eq!(one.len(), 1);
-        // Exempt where the class says stdio is fine (bins, xtask, bench).
-        let v = lint_source(
-            src,
-            FileClass {
-                library: true,
-                simulation: false,
-                thread_policed: true,
-                print_policed: false,
-            },
-        );
-        assert!(v.is_empty());
-        // Test modules may print.
-        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"debug\"); }\n}\n";
-        assert!(strict(test_src).is_empty());
-        // Strings and comments that mention the macros do not trigger.
+        // One finding per macro: `eprintln!` is a single ident token, so it
+        // can no longer double-match the `println!` pattern even in theory.
+        assert_eq!(strict("fn f() { eprintln!(\"x\"); }\n").len(), 1);
+        let class = FileClass { print_policed: false, ..FileClass::STRICT };
+        assert!(lint_source(src, class).is_empty());
         let inert =
             "fn f() -> &'static str {\n    // the CLI used println!(...) here\n    \"println!(not code)\"\n}\n";
         assert!(strict(inert).is_empty());
-        // Waivable with a reason.
-        let waived =
-            "fn f() {\n    // lint:allow(no-print-in-library) — one-shot startup banner, not a hot path\n    eprintln!(\"up\");\n}\n";
-        assert!(strict(waived).is_empty());
     }
 
     #[test]
@@ -674,13 +476,23 @@ mod tests {
         assert_eq!(strict("fn f(x: f64) -> bool { x == 0.0 }\n").len(), 1);
         assert_eq!(strict("fn f(x: f64) -> bool { 1.5 != x }\n").len(), 1);
         assert_eq!(strict("fn f(x: f64) -> bool { x == 1e-3 }\n").len(), 1);
+        assert_eq!(strict("fn f(x: f64) -> bool { x == -0.5 }\n").len(), 1);
         assert!(strict("fn f(x: u8) -> bool { x == 3 }\n").is_empty());
         assert!(strict("fn f(x: f64) -> bool { x <= 0.5 }\n").is_empty());
         assert!(strict("fn f(x: f64) -> bool { x >= 0.5 }\n").is_empty());
         assert!(strict("fn f(v: &[u8]) -> bool { v.len() == 2 }\n").is_empty());
-        // Tuple-field accesses are not float literals.
         assert!(strict("fn f(w: &[(u16, f64)]) -> bool { w[0].0 != w[1].0 }\n").is_empty());
         assert!(strict("fn f(p: (u8, u8), q: (u8, u8)) -> bool { p.0 == q.0 }\n").is_empty());
+    }
+
+    #[test]
+    fn float_comparison_split_across_lines_is_caught() {
+        // The old line scanner could not see this; the token engine can.
+        let src = "fn f(x: f64) -> bool {\n    x ==\n        0.25\n}\n";
+        let v = strict(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::FloatEq);
+        assert_eq!(v[0].line, 2, "reported at the operator");
     }
 
     #[test]
@@ -695,6 +507,136 @@ mod tests {
             "// The variants mirror the paper's table.\n#[allow(dead_code)]\nfn f() {}\n";
         assert!(strict(line_above).is_empty());
     }
+
+    // -- decoys the line scanner used to misfire on ------------------------
+
+    #[test]
+    fn block_comment_decoys_do_not_fire() {
+        let src = "/*\n * example: call .unwrap() then panic!(\"x\")\n * and compare x == 1.0 via thread::spawn\n */\nfn f() -> u8 { 0 }\n";
+        assert!(strict(src).is_empty(), "{:?}", strict(src));
+    }
+
+    #[test]
+    fn nested_block_comment_decoys_do_not_fire() {
+        let src = "/* outer /* inner .unwrap() */ still comment panic!( */\nfn f() -> u8 { 0 }\n";
+        assert!(strict(src).is_empty());
+    }
+
+    #[test]
+    fn raw_string_decoys_do_not_fire() {
+        let src =
+            "fn f() -> &'static str {\n    r#\"calls .unwrap() and \" panic!(\"inside\") \"#\n}\n";
+        assert!(strict(src).is_empty(), "{:?}", strict(src));
+    }
+
+    #[test]
+    fn multi_line_string_decoys_do_not_fire() {
+        // The middle lines look exactly like violating code to a per-line
+        // scanner; the token engine sees one string literal.
+        let src = "fn f() -> String {\n    let s = \"first\n        x.unwrap();\n        panic!(\\\"boom\\\");\n        y == 1.0\n    \".to_string();\n    s\n}\n";
+        assert!(strict(src).is_empty(), "{:?}", strict(src));
+    }
+
+    #[test]
+    fn char_literal_quote_does_not_open_a_string() {
+        let src = "fn f(c: char) -> bool {\n    c == '\"' && g().is_some()\n}\nfn g() -> Option<u8> { x().unwrap() }\n";
+        let v = strict(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn byte_string_decoys_do_not_fire() {
+        let src = "fn f() -> &'static [u8] {\n    b\".unwrap() panic!(\"\n}\n";
+        assert!(strict(src).is_empty());
+    }
+
+    // -- the three workspace-contract rules --------------------------------
+
+    #[test]
+    fn env_read_outside_from_env_fires() {
+        let src = "pub fn master_seed() -> u64 {\n    std::env::var(\"UOF_SEED\").ok().and_then(|s| s.parse().ok()).unwrap_or(2021)\n}\n";
+        let v = strict(src);
+        assert!(v.iter().any(|v| v.rule == Rule::EnvReadOutsideConfig), "{v:?}");
+    }
+
+    #[test]
+    fn env_read_inside_from_env_is_classified() {
+        let src = "pub fn from_env() -> Config {\n    let on = std::env::var(\"UOF_CACHE\").is_ok();\n    Config { on }\n}\npub fn seed_from_env() -> u64 {\n    std::env::var(\"UOF_SEED\").map(|s| s.len() as u64).unwrap_or(0)\n}\n";
+        assert!(!strict(src).iter().any(|v| v.rule == Rule::EnvReadOutsideConfig));
+    }
+
+    #[test]
+    fn env_read_of_non_uof_literal_is_out_of_scope() {
+        let src = "fn home() -> Option<String> {\n    std::env::var(\"HOME\").ok()\n}\n";
+        assert!(!strict(src).iter().any(|v| v.rule == Rule::EnvReadOutsideConfig));
+    }
+
+    #[test]
+    fn env_read_of_non_literal_name_is_conservative() {
+        let src = "fn read(name: &str) -> Option<String> {\n    std::env::var(name).ok()\n}\n";
+        let v = strict(src);
+        assert!(v.iter().any(|v| v.rule == Rule::EnvReadOutsideConfig), "{v:?}");
+    }
+
+    #[test]
+    fn env_macro_is_not_an_env_read() {
+        let src = "fn root() -> &'static str {\n    env!(\"CARGO_MANIFEST_DIR\")\n}\n";
+        assert!(!strict(src).iter().any(|v| v.rule == Rule::EnvReadOutsideConfig));
+    }
+
+    #[test]
+    fn hashmap_iteration_fires_on_iter_and_for() {
+        let src = "use std::collections::HashMap;\nfn f(map: HashMap<u8, u8>) -> u32 {\n    let mut sum = 0u32;\n    for (_, v) in &map {\n        sum += u32::from(*v);\n    }\n    sum + map.values().map(|v| u32::from(*v)).sum::<u32>()\n}\n";
+        let v: Vec<_> =
+            strict(src).into_iter().filter(|v| v.rule == Rule::HashMapIteration).collect();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].line, 4);
+        assert_eq!(v[1].line, 7);
+    }
+
+    #[test]
+    fn hashmap_point_operations_are_legal() {
+        let src = "use std::collections::HashMap;\nstruct S { map: HashMap<u8, u8> }\nimpl S {\n    fn get(&mut self, k: u8) -> Option<u8> {\n        self.map.get(&k).copied()\n    }\n    fn put(&mut self, k: u8) { self.map.insert(k, 0); self.map.remove(&k); }\n    fn size(&self) -> usize { self.map.len() }\n}\n";
+        assert!(
+            !strict(src).iter().any(|v| v.rule == Rule::HashMapIteration),
+            "point lookups never observe order"
+        );
+    }
+
+    #[test]
+    fn hashset_and_self_field_iteration_fire() {
+        let src = "use std::collections::HashSet;\nstruct S { seen: HashSet<u64> }\nimpl S {\n    fn all(&self) -> Vec<u64> {\n        let mut out = Vec::new();\n        for x in &self.seen {\n            out.push(*x);\n        }\n        out\n    }\n}\n";
+        let v = strict(src);
+        assert!(v.iter().any(|v| v.rule == Rule::HashMapIteration), "{v:?}");
+    }
+
+    #[test]
+    fn btreemap_iteration_is_fine() {
+        let src = "use std::collections::BTreeMap;\nfn f(map: BTreeMap<u8, u8>) -> u32 {\n    map.values().map(|v| u32::from(*v)).sum()\n}\n";
+        assert!(strict(src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_iteration_in_tests_is_exempt_and_class_gated() {
+        let test_src = "use std::collections::HashSet;\n#[cfg(test)]\nmod tests {\n    fn t() {\n        let seen: HashSet<u8> = HashSet::new();\n        for x in &seen {}\n    }\n}\n";
+        assert!(strict(test_src).is_empty());
+        let src = "use std::collections::HashMap;\nfn f(map: HashMap<u8,u8>) -> usize { map.keys().count() }\n";
+        let class = FileClass { order_policed: false, ..FileClass::STRICT };
+        assert!(lint_source(src, class).is_empty());
+    }
+
+    #[test]
+    fn wallclock_in_sim_fires_and_is_class_gated() {
+        let src = "fn f() -> std::time::Instant {\n    std::time::Instant::now()\n}\nfn g() -> std::time::SystemTime {\n    std::time::SystemTime::now()\n}\n";
+        let v: Vec<_> =
+            strict(src).into_iter().filter(|v| v.rule == Rule::WallclockInSim).collect();
+        assert_eq!(v.len(), 2, "{v:?}");
+        let class = FileClass { wallclock_policed: false, ..FileClass::STRICT };
+        assert!(!lint_source(src, class).iter().any(|v| v.rule == Rule::WallclockInSim));
+    }
+
+    // -- waivers ------------------------------------------------------------
 
     #[test]
     fn waiver_suppresses_only_named_rule() {
@@ -711,52 +653,129 @@ mod tests {
     }
 
     #[test]
-    fn waiver_without_reason_is_ignored() {
-        let src = "fn f() {\n    x().unwrap(); // lint:allow(no-unwrap)\n}\n";
-        assert_eq!(strict(src).len(), 1);
-        let dash_only = "fn f() {\n    x().unwrap(); // lint:allow(no-unwrap) —\n}\n";
-        assert_eq!(strict(dash_only).len(), 1);
+    fn waived_findings_are_reported_not_dropped() {
+        let src = "fn f() {\n    x().unwrap(); // lint:allow(no-unwrap) — startup invariant, cannot fail\n}\n";
+        let all = analyze_source(src, FileClass::STRICT);
+        assert_eq!(all.len(), 1);
+        assert!(all[0].waived);
+        assert_eq!(all[0].rule, Rule::NoUnwrap);
     }
 
     #[test]
-    fn strings_and_comments_do_not_trigger() {
-        let src = "fn f() -> &'static str {\n    // the old code called panic!(...) here\n    \"call .unwrap() and panic!(now)\"\n}\n";
+    fn waiver_without_reason_is_a_bad_waiver_finding() {
+        let src = "fn f() {\n    x().unwrap(); // lint:allow(no-unwrap)\n}\n";
+        let v = strict(src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|v| v.rule == Rule::NoUnwrap), "the unwrap still fires");
+        assert!(v.iter().any(|v| v.rule == Rule::BadWaiver), "and the waiver is flagged");
+        let dash_only = "fn f() {\n    x().unwrap(); // lint:allow(no-unwrap) —\n}\n";
+        assert!(strict(dash_only).iter().any(|v| v.rule == Rule::BadWaiver));
+    }
+
+    #[test]
+    fn unknown_rule_in_waiver_is_an_error_finding() {
+        // The typo'd name waives nothing AND is loudly reported — the
+        // failure mode this rule exists for.
+        let src = "fn f() {\n    x().unwrap(); // lint:allow(no-unwarp) — reason text here\n}\n";
+        let v = strict(src);
+        assert!(v.iter().any(|v| v.rule == Rule::NoUnwrap), "{v:?}");
+        let bad: Vec<_> = v.iter().filter(|v| v.rule == Rule::BadWaiver).collect();
+        assert_eq!(bad.len(), 1, "{v:?}");
+        assert!(bad[0].excerpt.contains("no-unwarp"), "{:?}", bad[0].excerpt);
+    }
+
+    #[test]
+    fn unterminated_waiver_is_an_error_finding() {
+        let src = "fn f() -> u8 {\n    // lint:allow(no-unwrap — missing close paren\n    0\n}\n";
+        assert!(strict(src).iter().any(|v| v.rule == Rule::BadWaiver));
+    }
+
+    #[test]
+    fn documentation_placeholder_waivers_are_ignored() {
+        let src =
+            "//! Waive with `lint:allow(<rule>) — reason` on the line above.\nfn f() -> u8 { 0 }\n";
         assert!(strict(src).is_empty());
     }
 
     #[test]
-    fn char_literals_do_not_open_strings() {
-        let src = "fn f(c: char) -> bool {\n    c == '\"' && g().is_some()\n}\nfn g() -> Option<u8> { x().unwrap() }\n";
-        let v = strict(src);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].line, 4);
+    fn bad_waiver_is_not_waivable() {
+        let src = "fn f() -> u8 {\n    // lint:allow(bad-waiver, no-unwarp) — trying to waive the waiver checker\n    0\n}\n";
+        assert!(strict(src).iter().any(|v| v.rule == Rule::BadWaiver));
     }
+
+    #[test]
+    fn waivers_in_source_inventories_reasons() {
+        let src = "fn f() {\n    // lint:allow(no-unwrap, float-eq) — two rules, one reason\n    x().unwrap();\n}\n";
+        let waivers = waivers_in_source(src);
+        assert_eq!(waivers.len(), 1);
+        assert_eq!(waivers[0].line, 2);
+        assert_eq!(waivers[0].rules, vec![Rule::NoUnwrap, Rule::FloatEq]);
+        assert_eq!(waivers[0].reason, "two rules, one reason");
+    }
+
+    // -- classification -----------------------------------------------------
 
     #[test]
     fn classify_maps_paths() {
         let lib = classify(Path::new("crates/uniqueness/src/np.rs")).unwrap();
         assert!(lib.library && lib.simulation && lib.thread_policed && lib.print_policed);
+        assert!(lib.env_policed && lib.order_policed && lib.wallclock_policed);
         let bin = classify(Path::new("crates/bench/src/bin/fig_np.rs")).unwrap();
         assert!(!bin.library && !bin.thread_policed && !bin.print_policed);
+        assert!(bin.env_policed, "binaries still funnel UOF_* reads through from_env");
         let test = classify(Path::new("tests/end_to_end.rs")).unwrap();
         assert!(!test.library && test.simulation && !test.thread_policed);
+        assert!(!test.env_policed && !test.order_policed && !test.wallclock_policed);
         let xt = classify(Path::new("crates/xtask/src/lib.rs")).unwrap();
-        assert!(xt.library && !xt.simulation);
-        // The xtask CLI and the bench progress reporter may print; other
-        // library code must not.
-        assert!(!xt.print_policed);
+        assert!(xt.library && !xt.simulation && !xt.print_policed && !xt.wallclock_policed);
         let bench_lib = classify(Path::new("crates/bench/src/lib.rs")).unwrap();
-        assert!(bench_lib.library && !bench_lib.print_policed);
+        assert!(bench_lib.library && !bench_lib.print_policed && bench_lib.env_policed);
+        assert!(!bench_lib.wallclock_policed, "bench timing is operational, not simulated");
         let telemetry = classify(Path::new("crates/uof-telemetry/src/lib.rs")).unwrap();
         assert!(telemetry.print_policed);
-        // reach-api may spawn (thread-per-connection server), everyone else
-        // must go through the vendored pool.
+        assert!(!telemetry.wallclock_policed, "telemetry's purpose is wall-clock timing");
         let api = classify(Path::new("crates/reach-api/src/server.rs")).unwrap();
         assert!(api.library && !api.thread_policed);
+        assert!(!api.wallclock_policed, "rate limiting may read the clock");
+        let cache = classify(Path::new("crates/reach-cache/src/lru.rs")).unwrap();
+        assert!(cache.order_policed, "cache answers must be order-deterministic");
+        assert!(!cache.simulation && !cache.wallclock_policed);
         let pop = classify(Path::new("crates/fbsim-population/src/reach.rs")).unwrap();
-        assert!(pop.thread_policed);
+        assert!(pop.thread_policed && pop.order_policed);
         assert!(classify(Path::new("vendor/rand/src/lib.rs")).is_none());
         assert!(classify(Path::new("README.md")).is_none());
+    }
+
+    #[test]
+    fn classify_covers_every_walked_top_level_dir() {
+        // Satellite contract: the classification of each top-level dir in
+        // WALK_DIRS is pinned, so the walk list and the class table cannot
+        // drift apart silently.
+        for top in WALK_DIRS {
+            let rel = PathBuf::from(top).join("probe.rs");
+            let class = classify(&rel).unwrap_or_else(|| panic!("{top}/probe.rs must classify"));
+            match top {
+                "crates" | "src" => {
+                    assert!(class.library, "{top}: library code");
+                    assert!(class.env_policed, "{top}: env contract applies");
+                }
+                "tests" | "examples" | "benches" => {
+                    assert!(!class.library, "{top}: not library code");
+                    assert!(class.simulation, "{top}: facade crate, determinism still applies");
+                    assert!(!class.thread_policed, "{top}: may spawn threads");
+                    assert!(!class.print_policed, "{top}: may print");
+                    assert!(!class.env_policed, "{top}: harness code may read the environment");
+                    assert!(!class.order_policed && !class.wallclock_policed);
+                }
+                other => panic!("unexpected walk dir {other}"),
+            }
+        }
+        // Nested test/bench/example dirs inside crates classify the same
+        // way as the root-level ones.
+        let nested = classify(Path::new("crates/bench/benches/reach_engine.rs")).unwrap();
+        assert!(!nested.library && !nested.env_policed);
+        let nested = classify(Path::new("crates/reach-api/tests/loopback.rs")).unwrap();
+        assert!(!nested.library && !nested.env_policed);
     }
 
     #[test]
@@ -765,5 +784,32 @@ mod tests {
             assert_eq!(Rule::from_name(rule.name()), Some(rule));
         }
         assert_eq!(Rule::from_name("no-such-rule"), None);
+    }
+
+    // -- report / JSON -------------------------------------------------------
+
+    #[test]
+    fn report_json_round_trips_and_counts() {
+        let src = "fn f() {\n    x().unwrap(); // lint:allow(no-unwrap) — startup invariant, cannot fail\n    let _gap = 0;\n    y().unwrap();\n}\n";
+        let findings: Vec<FileViolation> = analyze_source(src, FileClass::STRICT)
+            .into_iter()
+            .map(|violation| FileViolation { path: PathBuf::from("src/demo.rs"), violation })
+            .collect();
+        let report = Report { files: 1, findings };
+        let text = report.to_json();
+        let value = json::parse(&text).expect("report JSON parses");
+        assert_eq!(value.to_json_string(), text, "canonical bytes round-trip");
+        let summary = value.get("summary").expect("summary present");
+        assert_eq!(summary.get("total"), Some(&json::Value::Num("2".into())));
+        assert_eq!(summary.get("active"), Some(&json::Value::Num("1".into())));
+        assert_eq!(summary.get("waived"), Some(&json::Value::Num("1".into())));
+        let per_rule = summary.get("per_rule").expect("per_rule present");
+        let unwrap_counts = per_rule.get("no-unwrap").expect("no-unwrap entry");
+        assert_eq!(unwrap_counts.get("active"), Some(&json::Value::Num("1".into())));
+        assert_eq!(unwrap_counts.get("waived"), Some(&json::Value::Num("1".into())));
+        // Every rule appears in per_rule, even with zero counts.
+        for rule in Rule::ALL {
+            assert!(per_rule.get(rule.name()).is_some(), "{} missing", rule.name());
+        }
     }
 }

@@ -1,4 +1,16 @@
-//! Workspace automation CLI: `cargo run -p xtask -- lint [ROOT]`.
+//! Workspace task runner.
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--format text|json] [--waivers] [ROOT]
+//! cargo run -p xtask -- check-json <FILE>
+//! ```
+//!
+//! `lint` walks the workspace (or `ROOT`) and reports findings; exit status
+//! is nonzero if any **active** (unwaived) finding exists, or — with
+//! `--waivers` — if the waiver count exceeds `xtask::WAIVER_BUDGET`.
+//! `--format json` emits the stable machine-readable report documented in
+//! DESIGN.md §8.2. `check-json` re-parses a JSON report and verifies it
+//! re-emits byte-identically (the round-trip check `scripts/check.sh` runs).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -9,43 +21,149 @@ fn workspace_root() -> PathBuf {
     manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or(manifest)
 }
 
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- lint [--format text|json] [--waivers] [ROOT]");
+    eprintln!("       cargo run -p xtask -- check-json <FILE>");
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("lint") => {
-            let root = args.next().map(PathBuf::from).unwrap_or_else(workspace_root);
-            if !root.is_dir() {
-                eprintln!("lint: root {} is not a directory", root.display());
-                return ExitCode::FAILURE;
-            }
-            match xtask::lint_workspace(&root) {
-                Ok(findings) if findings.is_empty() => {
-                    println!("lint: clean ({})", root.display());
-                    ExitCode::SUCCESS
-                }
-                Ok(findings) => {
-                    for finding in &findings {
-                        eprintln!("{finding}");
-                    }
-                    eprintln!(
-                        "lint: {} violation(s); waive with `// lint:allow(<rule>) — reason`",
-                        findings.len()
-                    );
-                    ExitCode::FAILURE
-                }
-                Err(err) => {
-                    eprintln!("lint: cannot walk {}: {err}", root.display());
-                    ExitCode::FAILURE
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("check-json") => check_json(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut format = "text";
+    let mut waivers_mode = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some(f @ ("text" | "json")) => format = if f == "json" { "json" } else { "text" },
+                _ => return usage(),
+            },
+            "--waivers" => waivers_mode = true,
+            _ if arg.starts_with('-') => return usage(),
+            _ => {
+                if root.replace(PathBuf::from(arg)).is_some() {
+                    return usage();
                 }
             }
-        }
-        Some(other) => {
-            eprintln!("xtask: unknown task `{other}` (available: lint)");
-            ExitCode::FAILURE
-        }
-        None => {
-            eprintln!("usage: cargo run -p xtask -- lint [ROOT]");
-            ExitCode::FAILURE
         }
     }
+    let root = root.unwrap_or_else(workspace_root);
+    if !root.is_dir() {
+        eprintln!("lint: root {} is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+
+    if waivers_mode {
+        return waivers(&root, format);
+    }
+
+    let report = match xtask::lint_workspace_report(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("lint: cannot walk {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let active = report.active().count();
+    if format == "json" {
+        println!("{}", report.to_json());
+    } else {
+        for finding in &report.findings {
+            let tag = if finding.violation.waived { " (waived)" } else { "" };
+            println!("{finding}{tag}");
+        }
+        let waived = report.findings.len() - active;
+        println!(
+            "lint: checked {} files — {} active finding(s), {} waived",
+            report.files, active, waived
+        );
+        if active > 0 {
+            eprintln!("lint: waive with `// lint:allow(<rule>) — reason` where justified");
+        }
+    }
+    if active == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn waivers(root: &std::path::Path, format: &str) -> ExitCode {
+    let inventory = match xtask::waiver_inventory(root) {
+        Ok(inventory) => inventory,
+        Err(err) => {
+            eprintln!("lint --waivers: cannot walk {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if format == "json" {
+        use xtask::json::Value;
+        let sites: Vec<Value> = inventory
+            .iter()
+            .map(|site| {
+                Value::Obj(vec![
+                    ("path".into(), Value::Str(site.path.display().to_string())),
+                    ("line".into(), Value::int(site.waiver.line)),
+                    (
+                        "rules".into(),
+                        Value::Arr(
+                            site.waiver.rules.iter().map(|r| Value::Str(r.name().into())).collect(),
+                        ),
+                    ),
+                    ("reason".into(), Value::Str(site.waiver.reason.clone())),
+                ])
+            })
+            .collect();
+        let doc = Value::Obj(vec![
+            ("waivers".into(), Value::Arr(sites)),
+            ("count".into(), Value::int(inventory.len())),
+            ("budget".into(), Value::int(xtask::WAIVER_BUDGET)),
+        ]);
+        println!("{}", doc.to_json_string());
+    } else {
+        for site in &inventory {
+            println!("{site}");
+        }
+        println!("lint: {} waiver(s), budget {}", inventory.len(), xtask::WAIVER_BUDGET);
+    }
+    if inventory.len() <= xtask::WAIVER_BUDGET {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint: waiver budget exceeded: {} > {}", inventory.len(), xtask::WAIVER_BUDGET);
+        ExitCode::FAILURE
+    }
+}
+
+fn check_json(args: &[String]) -> ExitCode {
+    let [path] = args else { return usage() };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("check-json: {path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let trimmed = text.trim_end_matches('\n');
+    let value = match xtask::json::parse(trimmed) {
+        Ok(value) => value,
+        Err(err) => {
+            eprintln!("check-json: {path}: parse error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if value.to_json_string() != trimmed {
+        eprintln!("check-json: {path}: re-emission is not byte-identical");
+        return ExitCode::FAILURE;
+    }
+    println!("check-json: {path}: ok");
+    ExitCode::SUCCESS
 }

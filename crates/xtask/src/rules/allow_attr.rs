@@ -1,0 +1,45 @@
+//! `unjustified-allow`: `#[allow(...)]` / `#![allow(...)]` without a
+//! justification comment on the same or the directly preceding line.
+//!
+//! Unlike the pattern rules this one consults the comment tokens: any
+//! comment with substantive content (more than two characters beyond its
+//! delimiters) on the attribute's line or the line above counts as the
+//! justification. Applies everywhere, including `#[cfg(test)]` regions —
+//! hygiene does not stop at test modules.
+
+use super::{Context, Rule, Violation};
+use crate::lexer::Token;
+
+pub(super) fn check(ctx: &Context<'_>, comments: &[Token], out: &mut Vec<Violation>) {
+    // Lines carrying a substantive comment (start line of the comment).
+    let commented: Vec<usize> = comments
+        .iter()
+        .filter(|c| c.text.trim_matches(['/', '*', '!', ' ']).trim().len() > 2)
+        .map(|c| c.line)
+        .collect();
+
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].is_punct("#") {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct("!")) {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.is_punct("[")) {
+            continue;
+        }
+        if !toks.get(j + 1).is_some_and(|t| t.is_ident("allow")) {
+            continue;
+        }
+        if !toks.get(j + 2).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        let line = toks[i].line;
+        let justified = commented.iter().any(|&c| c == line || c + 1 == line);
+        if !justified {
+            out.push(ctx.finding(Rule::UnjustifiedAllow, &toks[i]));
+        }
+    }
+}

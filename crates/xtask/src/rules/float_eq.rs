@@ -1,0 +1,33 @@
+//! `float-eq`: `==` / `!=` with a floating-point literal on either side.
+//!
+//! The operator and the literal are single tokens, so `<=` / `>=` / `=>`
+//! can never shadow a comparison (they lex as one token), tuple-field
+//! accesses like `pair.0` are integer tokens, and a comparison split across
+//! lines (`x ==\n    1.0`) — invisible to the old line scanner — is caught.
+
+use crate::lexer::TokenKind;
+
+use super::{Context, Rule, Violation};
+
+pub(super) fn check(ctx: &Context<'_>, out: &mut Vec<Violation>) {
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let left = i > 0 && toks[i - 1].kind == TokenKind::Float;
+        // Allow a unary sign before the right-hand literal: `x == -1.5`.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|n| n.is_punct("-") || n.is_punct("+")) {
+            j += 1;
+        }
+        let right = toks.get(j).is_some_and(|n| n.kind == TokenKind::Float);
+        if left || right {
+            out.push(ctx.finding(Rule::FloatEq, t));
+        }
+    }
+}

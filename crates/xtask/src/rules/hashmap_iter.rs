@@ -1,0 +1,120 @@
+//! `hashmap-iteration`: iterating a `std::collections::HashMap` / `HashSet`
+//! in order-policed code.
+//!
+//! `HashMap` iteration order is unspecified and — with a randomly seeded
+//! hasher — differs run to run; even with the workspace's fixed FNV hasher
+//! it depends on insertion history and capacity, so any fold, collect or
+//! side effect driven by map iteration threatens the bit-identity contract
+//! (DESIGN.md §9). Point operations (`get` / `insert` / `remove` / `len`)
+//! are order-free and stay legal, which is how `reach-cache`'s LRU and
+//! single-flight tables pass this rule unmodified: they never iterate.
+//!
+//! Detection is a two-pass token heuristic, honest about its limits:
+//!
+//! 1. collect names declared with a `HashMap` / `HashSet` type or
+//!    initializer (`map: HashMap<…>`, `let s = HashSet::new()`);
+//! 2. flag iteration on those names — `name.iter()`, `.keys()`,
+//!    `.values()`, `.drain()`, `.retain()`, `.into_iter()`, and bare
+//!    `for x in [&]name { … }` loops.
+//!
+//! Aliasing through references or passing the map to another function is
+//! invisible to a single-file lexer; the rule catches the direct forms,
+//! which is where every historical regression has lived. Need ordered
+//! iteration? Use `BTreeMap`, or collect-and-sort, or waive with a reason
+//! proving order cannot reach an output.
+
+use crate::lexer::TokenKind;
+
+use super::{Context, Rule, Violation};
+
+/// Methods whose results or side effects observe hash order.
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+pub(super) fn check(ctx: &Context<'_>, out: &mut Vec<Violation>) {
+    if !ctx.class.order_policed {
+        return;
+    }
+    let toks = ctx.tokens;
+
+    // Pass 1: names declared as hash containers.
+    let mut names: Vec<&str> = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("HashMap") || toks[i].is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over the path prefix (`std :: collections ::`).
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct("::") && toks[j - 2].kind == TokenKind::Ident {
+            j -= 2;
+        }
+        // Skip `&` / `mut` between the binding and the type.
+        while j >= 1
+            && (toks[j - 1].is_punct("&")
+                || toks[j - 1].is_punct("&&")
+                || toks[j - 1].is_ident("mut"))
+        {
+            j -= 1;
+        }
+        if j >= 2
+            && (toks[j - 1].is_punct(":") || toks[j - 1].is_punct("="))
+            && toks[j - 2].kind == TokenKind::Ident
+        {
+            names.push(toks[j - 2].text.as_str());
+        }
+    }
+    if names.is_empty() {
+        return;
+    }
+
+    // Pass 2: iteration over those names.
+    for i in 0..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || !names.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `name.iter()` and friends.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct("."))
+            && toks.get(i + 2).is_some_and(|n| {
+                n.kind == TokenKind::Ident && ITER_METHODS.contains(&n.text.as_str())
+            })
+            && toks.get(i + 3).is_some_and(|n| n.is_punct("("))
+        {
+            out.push(ctx.finding(Rule::HashMapIteration, &toks[i + 2]));
+            continue;
+        }
+        // `for x in [&][mut] [self.]name { … }`.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct("{")) {
+            let mut j = i;
+            while j > 0 {
+                let prev = &toks[j - 1];
+                if prev.is_punct(".")
+                    || prev.is_punct("&")
+                    || prev.is_punct("&&")
+                    || prev.is_ident("mut")
+                    || prev.is_ident("self")
+                {
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            if j > 0 && toks[j - 1].is_ident("in") {
+                out.push(ctx.finding(Rule::HashMapIteration, t));
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Token-sequence pattern rules: `no-unwrap`, `nondeterministic-rng`,
+//! `thread-spawn`, `no-print-in-library`, `wallclock-in-sim`.
+//!
+//! Each is a short adjacency pattern over the code token stream — e.g.
+//! `.unwrap(` is the token triple `.` `unwrap` `(`. Because string and
+//! comment contents are atomic tokens (or filtered out entirely), the
+//! patterns cannot fire inside either; and because identifiers are exact
+//! tokens, `unwrap_or()` or `should_panic(` can never be mistaken for a
+//! violation the way substring matching allowed.
+
+use super::{Context, Rule, Violation};
+
+/// Macro invocation delimiters: `panic!(…)`, `panic![…]`, `panic!{…}`.
+fn is_macro_delim(ctx: &Context<'_>, i: usize) -> bool {
+    ctx.tokens.get(i).is_some_and(|t| t.is_punct("(") || t.is_punct("[") || t.is_punct("{"))
+}
+
+pub(super) fn check(ctx: &Context<'_>, out: &mut Vec<Violation>) {
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let in_test = ctx.in_test[i];
+
+        // --- no-unwrap: `.unwrap(` / `.expect(` / `panic!(` ---------------
+        if ctx.class.library && !in_test {
+            if t.is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+            {
+                out.push(ctx.finding(Rule::NoUnwrap, &toks[i + 1]));
+            }
+            if t.is_ident("panic")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+                && is_macro_delim(ctx, i + 2)
+            {
+                out.push(ctx.finding(Rule::NoUnwrap, t));
+            }
+        }
+
+        // --- nondeterministic-rng ------------------------------------------
+        if ctx.class.simulation && !in_test {
+            if (t.is_ident("thread_rng") || t.is_ident("from_entropy"))
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            {
+                out.push(ctx.finding(Rule::NondeterministicRng, t));
+            }
+            if t.is_ident("rand")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.is_ident("random"))
+            {
+                out.push(ctx.finding(Rule::NondeterministicRng, t));
+            }
+        }
+
+        // --- thread-spawn --------------------------------------------------
+        if ctx.class.thread_policed
+            && !in_test
+            && t.is_ident("thread")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("spawn"))
+        {
+            out.push(ctx.finding(Rule::ThreadSpawn, t));
+        }
+
+        // --- no-print-in-library -------------------------------------------
+        if ctx.class.print_policed
+            && !in_test
+            && (t.is_ident("println")
+                || t.is_ident("eprintln")
+                || t.is_ident("print")
+                || t.is_ident("eprint"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            && is_macro_delim(ctx, i + 2)
+        {
+            out.push(ctx.finding(Rule::NoPrintInLibrary, t));
+        }
+
+        // --- wallclock-in-sim ----------------------------------------------
+        if ctx.class.wallclock_policed
+            && !in_test
+            && (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("now"))
+        {
+            out.push(ctx.finding(Rule::WallclockInSim, t));
+        }
+    }
+}

@@ -23,6 +23,15 @@ cargo fmt --check
 echo "==> xtask lint"
 cargo run -q -p xtask -- lint
 
+echo "==> xtask lint --format json (round-trip check)"
+LINT_JSON="$(mktemp)"
+trap 'rm -f "$LINT_JSON"' EXIT
+cargo run -q -p xtask -- lint --format json > "$LINT_JSON"
+cargo run -q -p xtask -- check-json "$LINT_JSON"
+
+echo "==> xtask lint --waivers (budget check)"
+cargo run -q -p xtask -- lint --waivers
+
 echo "==> cargo build --release"
 cargo build --release
 
