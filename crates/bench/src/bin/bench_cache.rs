@@ -50,6 +50,7 @@ struct Report {
     scale: String,
     seed: u64,
     threads: usize,
+    available_parallelism: usize,
     audiences: usize,
     sequences: usize,
     interests_per_sequence: usize,
@@ -199,6 +200,7 @@ fn main() {
         scale: format!("{scale:?}").to_lowercase(),
         seed,
         threads,
+        available_parallelism: bench::available_parallelism(),
         audiences: auds.len(),
         sequences: seqs.len(),
         interests_per_sequence: SEQUENCE_LEN,

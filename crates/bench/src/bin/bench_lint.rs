@@ -27,6 +27,7 @@ impl Timing {
 struct Report {
     bench: &'static str,
     threads: usize,
+    available_parallelism: usize,
     files: usize,
     findings_total: usize,
     findings_active: usize,
@@ -72,6 +73,7 @@ fn main() {
     let out = Report {
         bench: "lint",
         threads,
+        available_parallelism: bench::available_parallelism(),
         files: report.files,
         findings_total: report.findings.len(),
         findings_active: active,

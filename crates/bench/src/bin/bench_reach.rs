@@ -30,6 +30,7 @@ struct Report {
     scale: String,
     seed: u64,
     threads: usize,
+    available_parallelism: usize,
     bit_identical_across_thread_counts: bool,
     reach_sequences: usize,
     interests_per_sequence: usize,
@@ -115,6 +116,7 @@ fn main() {
         scale: format!("{scale:?}").to_lowercase(),
         seed,
         threads,
+        available_parallelism: bench::available_parallelism(),
         bit_identical_across_thread_counts: true,
         reach_sequences: seqs.len(),
         interests_per_sequence: 25,

@@ -84,6 +84,7 @@ struct Report {
     scale: String,
     seed: u64,
     threads: usize,
+    available_parallelism: usize,
     audiences: usize,
     bit_identical_off_on_tracing: bool,
     primitives_ns_per_op: PrimitiveNanos,
@@ -265,6 +266,7 @@ fn main() {
         scale: format!("{scale:?}").to_lowercase(),
         seed,
         threads,
+        available_parallelism: bench::available_parallelism(),
         audiences: auds.len(),
         bit_identical_off_on_tracing: true,
         primitives_ns_per_op: primitives,

@@ -77,6 +77,15 @@ pub fn seed_from_env() -> u64 {
     std::env::var("UOF_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2021)
 }
 
+/// The machine's available parallelism, for BENCH_*.json artifacts: a
+/// speedup ≈ 1.0 between sequential and parallel timings is expected on a
+/// single-core box and a red flag on a many-core one — recording the core
+/// count makes that diagnosable from the artifact alone (ROADMAP
+/// cross-cutting notes). `0` when the platform cannot say.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(0)
+}
+
 /// Builds the world for the environment-selected scale, logging progress.
 pub fn build_world() -> (Scale, World) {
     let scale = Scale::from_env();

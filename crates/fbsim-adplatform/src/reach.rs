@@ -81,11 +81,32 @@ pub(crate) fn age_fraction(range: Option<(u8, u8)>) -> f64 {
     fraction
 }
 
+/// A targeting spec carried a country index outside the 50-country
+/// universe — the wire-safe alternative to the panic in
+/// [`CountryFilter::of`], so a malformed spec arriving over the reach
+/// protocol degrades to an error response instead of killing the
+/// connection thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfUniverseCountry(pub u16);
+
+impl std::fmt::Display for OutOfUniverseCountry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "country index {} outside the 50-country universe", self.0)
+    }
+}
+
+impl std::error::Error for OutOfUniverseCountry {}
+
 /// The Ads Manager potential-reach API over a world.
 #[derive(Debug, Clone, Copy)]
 pub struct AdsManagerApi<'w> {
     world: &'w World,
     era: ReportingEra,
+}
+
+/// The spec's location filter, or the first out-of-universe index.
+fn spec_filter(spec: &TargetingSpec) -> Result<CountryFilter, OutOfUniverseCountry> {
+    CountryFilter::checked_of(&spec.location_indices()).map_err(OutOfUniverseCountry)
 }
 
 impl<'w> AdsManagerApi<'w> {
@@ -107,11 +128,36 @@ impl<'w> AdsManagerApi<'w> {
     /// The *true* expected audience of a spec — the simulator's backdoor,
     /// used by delivery and by policy evaluation (which FB could do
     /// internally but an external advertiser cannot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec carries a country index outside the 50-country
+    /// universe — specs built through [`TargetingSpec::builder`] cannot;
+    /// wire-adjacent callers should use [`Self::try_true_reach`].
     pub fn true_reach(&self, spec: &TargetingSpec) -> f64 {
-        let filter = CountryFilter::of(&spec.location_indices());
+        match self.try_true_reach(spec) {
+            Ok(reach) => reach,
+            Err(err) => {
+                // `try_true_reach` only errors on an out-of-universe index,
+                // so the assert always fires with the documented message.
+                assert!(err.0 < 50, "{err}");
+                f64::NAN
+            }
+        }
+    }
+
+    /// Non-panicking [`Self::true_reach`] for wire-adjacent callers: a spec
+    /// carrying an out-of-universe country index becomes an error value
+    /// instead of a panic on the serving thread.
+    ///
+    /// # Errors
+    ///
+    /// The first country index outside the 50-country universe.
+    pub fn try_true_reach(&self, spec: &TargetingSpec) -> Result<f64, OutOfUniverseCountry> {
+        let filter = spec_filter(spec)?;
         let engine = self.world.reach_engine();
         let raw = engine.conjunction_reach_in(spec.interests(), filter);
-        raw * gender_fraction(spec.gender()) * age_fraction(spec.age_range())
+        Ok(raw * gender_fraction(spec.gender()) * age_fraction(spec.age_range()))
     }
 
     /// Applies the era's reporting policy to an already-computed true
@@ -139,20 +185,46 @@ impl<'w> AdsManagerApi<'w> {
     /// Reach of every prefix of an interest sequence under a spec's
     /// locations — the bulk query the uniqueness pipeline uses (reported
     /// values, floor applied).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-universe country index, like
+    /// [`Self::true_reach`]; wire-adjacent callers should use
+    /// [`Self::try_nested_potential_reach`].
     pub fn nested_potential_reach(
         &self,
         spec_locations: &TargetingSpec,
         interests: &[fbsim_population::InterestId],
     ) -> Vec<PotentialReach> {
-        let filter = CountryFilter::of(&spec_locations.location_indices());
+        match self.try_nested_potential_reach(spec_locations, interests) {
+            Ok(reaches) => reaches,
+            Err(err) => {
+                assert!(err.0 < 50, "{err}");
+                Vec::new()
+            }
+        }
+    }
+
+    /// Non-panicking [`Self::nested_potential_reach`] for wire-adjacent
+    /// callers.
+    ///
+    /// # Errors
+    ///
+    /// The first country index outside the 50-country universe.
+    pub fn try_nested_potential_reach(
+        &self,
+        spec_locations: &TargetingSpec,
+        interests: &[fbsim_population::InterestId],
+    ) -> Result<Vec<PotentialReach>, OutOfUniverseCountry> {
+        let filter = spec_filter(spec_locations)?;
         let engine = self.world.reach_engine();
         let demographic =
             gender_fraction(spec_locations.gender()) * age_fraction(spec_locations.age_range());
-        engine
+        Ok(engine
             .nested_reaches_in(interests, filter)
             .into_iter()
             .map(|raw| self.report_potential(raw * demographic))
-            .collect()
+            .collect())
     }
 }
 

@@ -47,6 +47,7 @@ pub mod catalog;
 pub mod cohort;
 pub mod config;
 pub mod countries;
+pub mod index;
 pub mod panel;
 pub mod reach;
 pub mod taste;
@@ -56,5 +57,6 @@ pub use catalog::{Interest, InterestCatalog, InterestId, TopicId};
 pub use cohort::MaterializedUser;
 pub use config::WorldConfig;
 pub use countries::{CountryCode, TARGETING_UNIVERSE};
+pub use index::{IndexConfig, ReachIndex};
 pub use reach::{ReachEngine, SweepState};
 pub use world::World;

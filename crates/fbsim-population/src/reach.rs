@@ -21,6 +21,23 @@
 //! bench: `Pop · Π (AS_i / Pop)`, i.e. what the audience would be if
 //! interests were uncorrelated. Comparing the two shows why the latent-taste
 //! correlation structure is load-bearing for reproducing the paper.
+//!
+//! # The underflow-cutoff contract (freeze-and-drop)
+//!
+//! Every evaluation path applies one cutoff rule to the per-user running
+//! product: a user whose product has fallen to `≤ 1e-300` is **frozen** —
+//! the product stops updating and the user contributes **nothing** to any
+//! deeper prefix (the first interest always contributes, because every
+//! product starts at `1.0 > 1e-300`). The scalar path
+//! ([`ReachEngine::conjunction_reach_in`]), the one-shot sweep
+//! ([`ReachEngine::nested_reaches_in`]) and the resumable sweep
+//! ([`ReachEngine::sweep_extend`]) all implement exactly this rule, with the
+//! same chunk partition and the same fold order, so
+//! `conjunction_reach_in(&ids[..k], f)` is **bit-identical** to
+//! `nested_reaches_in(ids, f)[k - 1]` for every prefix length `k` — however
+//! the sequence is split across sweep calls and at any thread count. That
+//! equivalence is what lets the serving layer canonicalize a scalar spelling
+//! and a nested prefix of the same conjunction onto one cache entry.
 
 use rayon::prelude::*;
 
@@ -56,14 +73,36 @@ impl CountryFilter {
     ///
     /// # Panics
     ///
-    /// Panics if an index is ≥ 50 (outside the targeting universe).
+    /// Panics if an index is ≥ 50 (outside the targeting universe). Wire-
+    /// adjacent callers should use [`CountryFilter::checked_of`] instead,
+    /// which reports the offending index without unwinding.
     pub fn of(indices: &[u16]) -> Self {
+        match Self::checked_of(indices) {
+            Ok(filter) => filter,
+            Err(i) => {
+                // `checked_of` only errors on an out-of-universe index, so
+                // this assert always fires with the documented message.
+                assert!(i < 50, "country index {i} outside the 50-country universe");
+                Self(0)
+            }
+        }
+    }
+
+    /// Non-panicking [`CountryFilter::of`]: builds the filter, or returns
+    /// the first out-of-universe index (≥ 50).
+    ///
+    /// # Errors
+    ///
+    /// The first index outside the 50-country targeting universe.
+    pub fn checked_of(indices: &[u16]) -> Result<Self, u16> {
         let mut mask = 0u64;
         for &i in indices {
-            assert!(i < 50, "country index {i} outside the 50-country universe");
+            if i >= 50 {
+                return Err(i);
+            }
             mask |= 1 << i;
         }
-        Self(mask)
+        Ok(Self(mask))
     }
 
     /// Whether country index `i` passes the filter.
@@ -95,8 +134,10 @@ pub struct ReachEngine<'a> {
 /// queries (see [`ReachEngine::sweep_begin`] / [`ReachEngine::sweep_extend`]).
 ///
 /// One `f64` per panel user; filtered-out users sit at `0.0` and users whose
-/// product has underflowed the sweep's `1e-300` cutoff simply stop updating,
-/// exactly as in the one-shot sweep.
+/// product has underflowed the `1e-300` cutoff are frozen — they stop
+/// updating and contribute nothing to deeper prefixes (the freeze-and-drop
+/// contract in the module docs), exactly as in the one-shot sweep and the
+/// scalar path.
 #[derive(Debug, Clone)]
 pub struct SweepState {
     products: Vec<f64>,
@@ -152,6 +193,10 @@ impl<'a> ReachEngine<'a> {
 
     /// Expected audience of the conjunction of `ids` restricted to the
     /// countries in `filter`.
+    ///
+    /// Applies the freeze-and-drop underflow cutoff (see the module docs):
+    /// the value returned for `ids[..k]` is bit-identical to element `k - 1`
+    /// of [`ReachEngine::nested_reaches_in`] over any extension of `ids`.
     pub fn conjunction_reach_in(&self, ids: &[InterestId], filter: CountryFilter) -> f64 {
         let _span = uof_telemetry::span!(
             "engine.conjunction_reach",
@@ -176,14 +221,24 @@ impl<'a> ReachEngine<'a> {
                     if !filter.contains(user.country) {
                         continue;
                     }
+                    // Same per-user rule as the sweeps: multiply while the
+                    // running product stays above the cutoff; a user frozen
+                    // before the last interest contributes nothing. (The
+                    // first multiply always happens — the product starts at
+                    // 1.0 — so single-interest queries are never dropped.)
                     let mut product = 1.0f64;
+                    let mut live = true;
                     for &(score, topic) in &params {
-                        product *= user.carriage_probability(score, topic, base);
-                        if product < 1e-300 {
+                        if product > 1e-300 {
+                            product *= user.carriage_probability(score, topic, base);
+                        } else {
+                            live = false;
                             break;
                         }
                     }
-                    acc += product;
+                    if live {
+                        acc += product;
+                    }
                 }
                 acc
             })
@@ -200,6 +255,11 @@ impl<'a> ReachEngine<'a> {
     }
 
     /// [`Self::nested_reaches`] with a country filter.
+    ///
+    /// Element `k` is bit-identical to
+    /// `conjunction_reach_in(&ids[..=k], filter)` — both paths share the
+    /// freeze-and-drop underflow cutoff, chunk partition, and fold order
+    /// (see the module docs).
     pub fn nested_reaches_in(&self, ids: &[InterestId], filter: CountryFilter) -> Vec<f64> {
         if ids.is_empty() {
             return Vec::new();

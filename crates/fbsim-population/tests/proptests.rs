@@ -55,6 +55,70 @@ proptest! {
     }
 
     #[test]
+    fn scalar_nested_sweep_prefixes_bit_identical(
+        ids in prop::collection::vec(0u32..500, 1..8),
+        countries in prop::collection::vec(0u16..50, 0..4),
+        split in 0usize..8,
+    ) {
+        // The unified freeze-and-drop cutoff contract (reach.rs module docs):
+        // every prefix reach is the SAME f64 bits whether computed by the
+        // scalar path, the nested path, or any sweep_begin/sweep_extend
+        // split of the sequence.
+        let ids: Vec<InterestId> = ids.into_iter().map(InterestId).collect();
+        let filter = if countries.is_empty() {
+            CountryFilter::ALL
+        } else {
+            CountryFilter::of(&countries)
+        };
+        let engine = world().reach_engine();
+        let nested = engine.nested_reaches_in(&ids, filter);
+        for k in 1..=ids.len() {
+            let scalar = engine.conjunction_reach_in(&ids[..k], filter);
+            prop_assert_eq!(
+                scalar.to_bits(),
+                nested[k - 1].to_bits(),
+                "scalar {} != nested {} at prefix {}",
+                scalar,
+                nested[k - 1],
+                k
+            );
+        }
+        let split = split.min(ids.len());
+        let state = engine.sweep_begin(filter);
+        let (head, state) = engine.sweep_extend(&state, &ids[..split]);
+        let (tail, _) = engine.sweep_extend(&state, &ids[split..]);
+        let swept: Vec<f64> = head.into_iter().chain(tail).collect();
+        prop_assert_eq!(swept.len(), nested.len());
+        for (k, (s, n)) in swept.iter().zip(&nested).enumerate() {
+            prop_assert_eq!(
+                s.to_bits(),
+                n.to_bits(),
+                "sweep split {} diverges from nested at prefix {}",
+                split,
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn index_counts_match_reference_scan_at_any_thread_count(
+        ids in prop::collection::vec(0u32..500, 0..6),
+        countries in prop::collection::vec(0u16..50, 0..3),
+        threads in 1usize..5,
+    ) {
+        use fbsim_population::index::{boolean_reference_count, ReachIndex};
+        let ids: Vec<InterestId> = ids.into_iter().map(InterestId).collect();
+        let filter = if countries.is_empty() {
+            CountryFilter::ALL
+        } else {
+            CountryFilter::of(&countries)
+        };
+        let idx = rayon::with_thread_count(threads, || ReachIndex::build_for(world(), &ids));
+        let want = boolean_reference_count(world(), &ids, filter);
+        prop_assert_eq!(idx.conjunction_count(&ids, filter), Some(want));
+    }
+
+    #[test]
     fn country_filters_are_subadditive(id in 0u32..500, split in 1u16..49) {
         let engine = world().reach_engine();
         let ids = [InterestId(id)];
@@ -111,6 +175,48 @@ proptest! {
                     <= world().catalog().interest(w[1]).target_audience
             );
         }
+    }
+}
+
+/// Deterministic regression for the scalar/nested cutoff divergence: short
+/// conjunctions never reach the 1e-300 underflow cutoff, so this drives a
+/// 400-interest sequence through it. Under the pre-fix scalar contract
+/// (truncate-then-accumulate) the prefixes in the freeze transition region
+/// disagreed with the nested path; under freeze-and-drop every prefix is
+/// bit-identical and the deep tail collapses to exactly +0.0 once every
+/// panel user has frozen.
+#[test]
+fn underflow_cutoff_is_bit_identical_and_freezes_to_zero() {
+    let engine = world().reach_engine();
+    let ids: Vec<InterestId> = (0..400u32).map(|i| InterestId(i * 7 % 500)).collect();
+    let nested = engine.nested_reaches_in(&ids, CountryFilter::ALL);
+    assert!(nested[0] > 0.0);
+    assert_eq!(
+        nested.last().copied().map(f64::to_bits),
+        Some(0.0f64.to_bits()),
+        "400 deep, every panel user must have frozen"
+    );
+    // Check scalar agreement across the whole freeze transition region:
+    // every prefix where the nested value changes, plus the deep tail.
+    let mut checkpoints: Vec<usize> =
+        (1..nested.len()).filter(|&k| nested[k].to_bits() != nested[k - 1].to_bits()).collect();
+    checkpoints.extend([1, nested.len() / 2, nested.len()]);
+    for k in checkpoints {
+        let scalar = engine.conjunction_reach_in(&ids[..k], CountryFilter::ALL);
+        assert_eq!(
+            scalar.to_bits(),
+            nested[k - 1].to_bits(),
+            "prefix {k}: scalar {scalar} vs nested {}",
+            nested[k - 1]
+        );
+    }
+    // The sweep path freezes identically across an arbitrary split.
+    let state = engine.sweep_begin(CountryFilter::ALL);
+    let (head, state) = engine.sweep_extend(&state, &ids[..123]);
+    let (tail, _) = engine.sweep_extend(&state, &ids[123..]);
+    let swept: Vec<f64> = head.into_iter().chain(tail).collect();
+    for (k, (s, n)) in swept.iter().zip(&nested).enumerate() {
+        assert_eq!(s.to_bits(), n.to_bits(), "sweep diverges at prefix {}", k + 1);
     }
 }
 

@@ -166,6 +166,32 @@ impl ReachClient {
         }
     }
 
+    /// Queries the sampled reach of a conjunction — answered from the
+    /// server's bit-packed posting-list index (one realized membership draw
+    /// per panel user) instead of the expected-value engine. Requires the
+    /// server to run with `UOF_REACH_INDEX=1`; otherwise the server answers
+    /// with an error and this returns [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn sampled_reach(
+        &mut self,
+        locations: &[&str],
+        interests: &[u32],
+    ) -> Result<ClientReach, ClientError> {
+        let request = ReachRequest::sampled(
+            locations.iter().map(|s| s.to_string()).collect(),
+            interests.to_vec(),
+        );
+        match self.request(&request)? {
+            ReachResponse::SampledReach { reported, floored, too_narrow_warning } => {
+                Ok(ClientReach { reported, floored, too_narrow_warning })
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Fetches the server's query-cache statistics snapshot.
     ///
     /// # Errors
@@ -241,6 +267,7 @@ fn unexpected(response: ReachResponse) -> ClientError {
         ReachResponse::Nested { .. } => "nested",
         ReachResponse::Stats { .. } => "stats",
         ReachResponse::StatsSnapshot { .. } => "stats_snapshot",
+        ReachResponse::SampledReach { .. } => "sampled_reach",
     })
 }
 

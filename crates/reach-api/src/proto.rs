@@ -24,9 +24,10 @@ pub const MAX_FRAME: usize = 64 * 1024;
 
 /// A potential-reach query.
 ///
-/// The `nested`, `stats`, and `snapshot` fields are optional extensions
-/// added after the first protocol release; absent keys deserialize as
-/// `None`, so version-1 frames from older clients remain valid.
+/// The `nested`, `stats`, `snapshot`, and `sampled` fields are optional
+/// extensions added after the first protocol release; absent keys
+/// deserialize as `None`, so version-1 frames from older clients remain
+/// valid.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReachRequest {
     /// Protocol version (must equal [`PROTOCOL_VERSION`]).
@@ -45,6 +46,15 @@ pub struct ReachRequest {
     /// `Some(true)`: ignore the query fields and return the server's full
     /// telemetry registry dump via [`ReachResponse::StatsSnapshot`].
     pub snapshot: Option<bool>,
+    /// `Some(true)`: answer from the bit-packed posting-list index (one
+    /// realized membership draw per user) via
+    /// [`ReachResponse::SampledReach`] instead of the expected-value
+    /// engine. Requires the server to have the index enabled
+    /// (`UOF_REACH_INDEX`); mutually exclusive with `nested`. Like the
+    /// other extension fields, an absent key deserializes as `None`, so
+    /// pre-`sampled` frames remain valid.
+    #[serde(default)]
+    pub sampled: Option<bool>,
 }
 
 impl ReachRequest {
@@ -57,6 +67,7 @@ impl ReachRequest {
             nested: None,
             stats: None,
             snapshot: None,
+            sampled: None,
         }
     }
 
@@ -69,6 +80,7 @@ impl ReachRequest {
             nested: Some(true),
             stats: None,
             snapshot: None,
+            sampled: None,
         }
     }
 
@@ -81,6 +93,7 @@ impl ReachRequest {
             nested: None,
             stats: Some(true),
             snapshot: None,
+            sampled: None,
         }
     }
 
@@ -93,6 +106,22 @@ impl ReachRequest {
             nested: None,
             stats: None,
             snapshot: Some(true),
+            sampled: None,
+        }
+    }
+
+    /// A sampled conjunction-reach query answered from the server's
+    /// bit-packed posting-list index (order-insensitive, like
+    /// [`ReachRequest::scalar`]).
+    pub fn sampled(locations: Vec<String>, interests: Vec<u32>) -> Self {
+        Self {
+            v: PROTOCOL_VERSION,
+            locations,
+            interests,
+            nested: None,
+            stats: None,
+            snapshot: None,
+            sampled: Some(true),
         }
     }
 }
@@ -149,6 +178,20 @@ pub enum ReachResponse {
     StatsSnapshot {
         /// Registry contents at the time of the request.
         registry: uof_telemetry::RegistrySnapshot,
+    },
+    /// Successful sampled reach report from the posting-list index. The
+    /// reporting floor and advisory are applied server-side exactly as for
+    /// [`ReachResponse::Reach`] — the raw panel count is deliberately **not**
+    /// on the wire, so a client cannot observe a sub-floor audience through
+    /// this opcode either.
+    SampledReach {
+        /// Reported potential reach (index count × panel scale, floor
+        /// applied).
+        reported: u64,
+        /// Whether the floor masked a smaller value.
+        floored: bool,
+        /// Whether the "audience too narrow" advisory applies.
+        too_narrow_warning: bool,
     },
 }
 
@@ -277,6 +320,11 @@ mod tests {
                     ReachPoint { reported: 20, floored: true, too_narrow_warning: true },
                 ],
             },
+            ReachResponse::SampledReach {
+                reported: 750,
+                floored: false,
+                too_narrow_warning: false,
+            },
         ] {
             let frame = encode(&response);
             let back: ReachResponse = decode(&frame[..frame.len() - 1]).unwrap();
@@ -296,6 +344,22 @@ mod tests {
         assert_eq!(request.nested, None);
         assert_eq!(request.stats, None);
         assert_eq!(request.snapshot, None);
+        assert_eq!(request.sampled, None);
+        // Pre-`sampled` frames (extension keys present, no `sampled` key —
+        // what every client before this release emits) also still decode.
+        let raw = br#"{"v":1,"locations":["US"],"interests":[2],"nested":null,"stats":null,"snapshot":null}"#;
+        let request: ReachRequest = decode(raw).unwrap();
+        assert_eq!(request.sampled, None);
+    }
+
+    #[test]
+    fn sampled_request_round_trips() {
+        let sampled = ReachRequest::sampled(vec!["US".into()], vec![1, 2]);
+        assert_eq!(sampled.sampled, Some(true));
+        assert_eq!(sampled.nested, None);
+        let frame = encode(&sampled);
+        let back: ReachRequest = decode(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(back, sampled);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use fbsim_adplatform::reach::{AdsManagerApi, ReportingEra};
 use fbsim_adplatform::targeting::TargetingSpec;
 use fbsim_population::countries::CountryCode;
+use fbsim_population::index::{IndexConfig, ReachIndex};
 use fbsim_population::reach::CountryFilter;
 use fbsim_population::{InterestId, World};
 use parking_lot::Mutex;
@@ -88,6 +89,13 @@ pub struct ServerConfig {
     /// private pinned instance regardless of environment — loopback tests
     /// use this to observe metrics without ambient interference.
     pub telemetry: Option<TelemetryConfig>,
+    /// Posting-list index knob. The default honours `UOF_REACH_INDEX`;
+    /// when enabled, `sampled` requests are answered from a bit-packed
+    /// index grown on demand (interests materialize on first use and are
+    /// rebuilt when the world's generation moves). Disabled, `sampled`
+    /// requests get [`ReachResponse::Error`]. The float engine remains the
+    /// oracle for every other opcode either way.
+    pub index: IndexConfig,
 }
 
 impl Default for ServerConfig {
@@ -97,7 +105,42 @@ impl Default for ServerConfig {
             rate_limit: RateLimitConfig::default(),
             cache: CacheConfig::from_env(),
             telemetry: None,
+            index: IndexConfig::from_env(),
         }
+    }
+}
+
+/// The server's shared sampled-count index: one lazily grown
+/// [`ReachIndex`] behind a mutex, shared by every connection thread (like
+/// the query cache, cross-connection reuse is the point). Queries are
+/// microsecond-scale AND-chains, so answering under the lock is cheaper
+/// than cloning posting lists out.
+struct SampledIndex {
+    slot: Mutex<Option<ReachIndex>>,
+}
+
+impl SampledIndex {
+    fn new() -> Self {
+        Self { slot: Mutex::new(None) }
+    }
+
+    /// Answers a conjunction count, (re)building or extending the index as
+    /// needed: a missing or stale index is replaced by a fresh build over
+    /// exactly the queried interests; a current one grows by the interests
+    /// it has not seen. Epochs ride the same [`World::generation`] counter
+    /// the reach-cache invalidates on.
+    fn count(&self, world: &World, ids: &[InterestId], filter: CountryFilter) -> Option<u64> {
+        let mut slot = self.slot.lock();
+        let rebuild = match slot.as_ref() {
+            Some(index) => !index.is_current(world),
+            None => true,
+        };
+        if rebuild {
+            *slot = Some(ReachIndex::build_for(world, ids));
+        } else if let Some(index) = slot.as_mut() {
+            index.extend_for(world, ids);
+        }
+        slot.as_ref().and_then(|index| index.conjunction_count(ids, filter))
     }
 }
 
@@ -176,11 +219,15 @@ impl ReachServer {
         // One cache shared by every connection thread — cross-connection
         // reuse and single-flight deduplication are the whole point.
         let cache = Arc::new(ReachCache::new(config.cache));
+        // One sampled-count index shared by every connection thread, grown
+        // lazily — servers that never see a `sampled` request never build it.
+        let index = Arc::new(SampledIndex::new());
         // A pinned telemetry domain, or `None` for the process global.
         let telemetry = config.telemetry.as_ref().map(|cfg| Arc::new(Telemetry::new(cfg)));
         let accept_stop = Arc::clone(&stop);
         let accept_served = Arc::clone(&requests_served);
         let accept_cache = Arc::clone(&cache);
+        let accept_index = Arc::clone(&index);
         let accept_telemetry = telemetry.clone();
         let handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
@@ -193,13 +240,14 @@ impl ReachServer {
                         let stop = Arc::clone(&accept_stop);
                         let served = Arc::clone(&accept_served);
                         let cache = Arc::clone(&accept_cache);
+                        let index = Arc::clone(&accept_index);
                         let config = config.clone();
                         let telemetry = accept_telemetry.clone();
                         let handle = std::thread::spawn(move || {
                             let telemetry =
                                 telemetry.as_deref().unwrap_or_else(|| uof_telemetry::global());
                             let _ = handle_connection(
-                                stream, &world, &cache, telemetry, &config, &stop, &served,
+                                stream, &world, &cache, &index, telemetry, &config, &stop, &served,
                             );
                         });
                         accept_handles.lock().push(handle);
@@ -274,10 +322,12 @@ impl std::fmt::Debug for ReachServer {
 }
 
 /// Serves one connection until EOF, error, or server shutdown.
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     mut stream: TcpStream,
     world: &World,
     cache: &ReachCache,
+    index: &SampledIndex,
     telemetry: &Telemetry,
     config: &ServerConfig,
     stop: &AtomicBool,
@@ -327,7 +377,8 @@ fn handle_connection(
                         ReachResponse::Error { message: e.to_string() }
                     }
                     Ok(request) => {
-                        let r = answer_instrumented(&api, cache, telemetry, &request);
+                        let r =
+                            answer_instrumented(&api, cache, index, config, telemetry, &request);
                         if !matches!(
                             r,
                             ReachResponse::Error { .. } | ReachResponse::RateLimited { .. }
@@ -352,6 +403,8 @@ fn opcode_names(request: &ReachRequest) -> (&'static str, &'static str) {
         ("reach.requests.stats", "reach.request.stats")
     } else if request.nested == Some(true) {
         ("reach.requests.nested", "reach.request.nested")
+    } else if request.sampled == Some(true) {
+        ("reach.requests.sampled", "reach.request.sampled")
     } else {
         ("reach.requests.scalar", "reach.request.scalar")
     }
@@ -365,11 +418,13 @@ fn opcode_names(request: &ReachRequest) -> (&'static str, &'static str) {
 fn answer_instrumented(
     api: &AdsManagerApi<'_>,
     cache: &ReachCache,
+    index: &SampledIndex,
+    config: &ServerConfig,
     telemetry: &Telemetry,
     request: &ReachRequest,
 ) -> ReachResponse {
     if !telemetry.is_enabled() {
-        return answer(api, cache, telemetry, request);
+        return answer(api, cache, index, config, telemetry, request);
     }
     let (counter, span_name) = opcode_names(request);
     telemetry.registry().counter(counter).incr();
@@ -384,7 +439,7 @@ fn answer_instrumented(
             .field("locations", request.locations.len().into())
             .field("interests", request.interests.len().into())
             .start();
-        answer(api, cache, telemetry, request)
+        answer(api, cache, index, config, telemetry, request)
     };
     in_flight.decr();
     if matches!(response, ReachResponse::Error { .. }) {
@@ -427,6 +482,8 @@ fn publish_cache_stats(telemetry: &Telemetry, stats: &CacheStats) {
 fn answer(
     api: &AdsManagerApi<'_>,
     cache: &ReachCache,
+    index: &SampledIndex,
+    config: &ServerConfig,
     telemetry: &Telemetry,
     request: &ReachRequest,
 ) -> ReachResponse {
@@ -454,6 +511,17 @@ fn answer(
         return ReachResponse::Stats { stats: cache.stats() };
     }
     let nested = request.nested == Some(true);
+    let sampled = request.sampled == Some(true);
+    if nested && sampled {
+        return ReachResponse::Error {
+            message: "nested and sampled are mutually exclusive".into(),
+        };
+    }
+    if sampled && !config.index.enabled {
+        return ReachResponse::Error {
+            message: "sampled reach requires the posting-list index (UOF_REACH_INDEX=1)".into(),
+        };
+    }
     let mut builder = TargetingSpec::builder();
     for code in &request.locations {
         let bytes = code.as_bytes();
@@ -480,7 +548,35 @@ fn answer(
             return ReachResponse::Error { message: format!("unknown interest {}", id.0) };
         }
     }
-    let filter = CountryFilter::of(&spec.location_indices());
+    // `checked_of`, not `of`: a spec path carrying an out-of-universe index
+    // must degrade to an error frame, never panic the connection thread.
+    let filter = match CountryFilter::checked_of(&spec.location_indices()) {
+        Ok(filter) => filter,
+        Err(i) => {
+            return ReachResponse::Error {
+                message: format!("country index {i} outside the 50-country universe"),
+            }
+        }
+    };
+    if sampled {
+        // Sampled counts bypass the float engine and its cache entirely:
+        // the index is its own memo (posting lists persist across queries)
+        // and its epoch rides the same generation counter.
+        let reach = match index.count(api.world(), spec.interests(), filter) {
+            Some(members) => members as f64 * api.world().panel().scale(),
+            None => {
+                return ReachResponse::Error {
+                    message: "sampled reach unavailable for this query".into(),
+                }
+            }
+        };
+        let point = api.report_potential(reach);
+        return ReachResponse::SampledReach {
+            reported: point.reported,
+            floored: point.floored,
+            too_narrow_warning: point.too_narrow_warning,
+        };
+    }
     if nested {
         let engine = api.world().reach_engine();
         let reaches = cache

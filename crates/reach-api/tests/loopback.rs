@@ -377,3 +377,108 @@ fn malformed_server_frame_is_a_typed_client_error() {
     }
     script.join().unwrap();
 }
+
+#[test]
+fn sampled_reach_matches_locally_built_index() {
+    use fbsim_population::index::{IndexConfig, ReachIndex};
+    use fbsim_population::reach::CountryFilter;
+    use fbsim_population::InterestId;
+
+    let server = start_server(ServerConfig {
+        index: IndexConfig::enabled(), // pinned: immune to UOF_REACH_INDEX
+        ..ServerConfig::default()
+    });
+    let mut client = ReachClient::connect(server.addr()).unwrap();
+    // Deliberately unsorted with a duplicate: the server canonicalizes
+    // sampled queries like scalar ones.
+    let reach = client.sampled_reach(&["ES", "FR", "US"], &[9, 3, 9]).unwrap();
+
+    let world = test_world();
+    let ids = [InterestId(3), InterestId(9)];
+    let index = ReachIndex::build_for(&world, &ids);
+    let filter = CountryFilter::checked_of(&[
+        fbsim_population::countries::country_index(fbsim_population::CountryCode::new("ES"))
+            .unwrap() as u16,
+        fbsim_population::countries::country_index(fbsim_population::CountryCode::new("FR"))
+            .unwrap() as u16,
+        fbsim_population::countries::country_index(fbsim_population::CountryCode::new("US"))
+            .unwrap() as u16,
+    ])
+    .unwrap();
+    let members = index.conjunction_count(&ids, filter).unwrap();
+    let api = fbsim_adplatform::reach::AdsManagerApi::new(&world, ReportingEra::Early2017);
+    let expected = api.report_potential(members as f64 * world.panel().scale());
+    assert_eq!(reach.reported, expected.reported);
+    assert_eq!(reach.floored, expected.floored);
+    assert_eq!(reach.too_narrow_warning, expected.too_narrow_warning);
+
+    // A permuted spelling of the same audience answers identically (the
+    // index memo persists across requests on the same server).
+    let again = client.sampled_reach(&["US", "ES", "FR"], &[3, 9]).unwrap();
+    assert_eq!(again, reach);
+}
+
+#[test]
+fn sampled_reach_without_index_is_an_error_not_a_hangup() {
+    use fbsim_population::index::IndexConfig;
+    let server = start_server(ServerConfig {
+        index: IndexConfig::disabled(), // pinned: immune to UOF_REACH_INDEX
+        ..ServerConfig::default()
+    });
+    let mut client = ReachClient::connect(server.addr()).unwrap();
+    match client.sampled_reach(&["US"], &[0]) {
+        Err(ClientError::Server(m)) => assert!(m.contains("UOF_REACH_INDEX"), "{m}"),
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    // The connection survives the refusal: the float path still answers.
+    let reach = client.potential_reach(&["US"], &[0]).unwrap();
+    assert!(reach.reported >= 20);
+}
+
+#[test]
+fn sampled_and_nested_flags_are_mutually_exclusive() {
+    use fbsim_population::index::IndexConfig;
+    use reach_api::proto::{encode, FrameCodec, ReachRequest, ReachResponse};
+    use std::io::{Read, Write};
+
+    let server =
+        start_server(ServerConfig { index: IndexConfig::enabled(), ..ServerConfig::default() });
+    let mut request = ReachRequest::sampled(vec!["US".into()], vec![0]);
+    request.nested = Some(true);
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream.write_all(&encode(&request)).unwrap();
+    let mut codec = FrameCodec::new();
+    let mut buf = [0u8; 4096];
+    let response: ReachResponse = loop {
+        if let Some(frame) = codec.next_frame().unwrap() {
+            break reach_api::proto::decode(&frame).unwrap();
+        }
+        let n = stream.read(&mut buf).unwrap();
+        assert!(n > 0, "server hung up");
+        codec.feed(&buf[..n]);
+    };
+    match response {
+        ReachResponse::Error { message } => {
+            assert!(message.contains("mutually exclusive"), "{message}")
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn sampled_reach_canonicalization_shares_scalar_validation() {
+    use fbsim_population::index::IndexConfig;
+    let server =
+        start_server(ServerConfig { index: IndexConfig::enabled(), ..ServerConfig::default() });
+    let mut client = ReachClient::connect(server.addr()).unwrap();
+    // Unknown interests are rejected before the index is consulted.
+    match client.sampled_reach(&["US"], &[999_999]) {
+        Err(ClientError::Server(m)) => assert!(m.contains("unknown interest"), "{m}"),
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    // Bad country codes too.
+    match client.sampled_reach(&["XX"], &[0]) {
+        Err(ClientError::Server(m)) => assert!(m.contains("not in the targeting universe"), "{m}"),
+        other => panic!("expected a server error, got {other:?}"),
+    }
+}

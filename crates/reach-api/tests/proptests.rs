@@ -11,7 +11,15 @@ proptest! {
         interests in prop::collection::vec(any::<u32>(), 0..30),
     ) {
         let request =
-            ReachRequest { v, locations, interests, nested: None, stats: None, snapshot: None };
+            ReachRequest {
+                v,
+                locations,
+                interests,
+                nested: None,
+                stats: None,
+                snapshot: None,
+                sampled: None,
+            };
         let frame = encode(&request);
         let back: ReachRequest = decode(&frame[..frame.len() - 1]).unwrap();
         prop_assert_eq!(back, request);
@@ -32,6 +40,7 @@ proptest! {
                 nested: None,
                 stats: None,
                 snapshot: None,
+                sampled: None,
             })
             .collect();
         for r in &originals {

@@ -147,6 +147,52 @@ fn world_mutation_invalidates_through_sync_generation() {
 }
 
 #[test]
+fn one_generation_bump_retires_cache_and_index_together() {
+    // The posting-list index and the query cache invalidate off the SAME
+    // epoch counter (`World::generation`), so one model mutation retires
+    // both layers — no second plumbing path to keep consistent.
+    use fbsim_population::index::{boolean_reference_count, ReachIndex};
+
+    let mut world = test_world(606);
+    let cache = cache();
+    cache.sync_generation(world.generation());
+    let ids = [InterestId(11), InterestId(42)];
+    let cached = {
+        let engine = world.reach_engine();
+        cache.reach(&ids, CountryFilter::ALL, None, || {
+            engine.conjunction_reach_in(&ids, CountryFilter::ALL)
+        })
+    };
+    assert!(cached > 0.0);
+    let index = ReachIndex::build_for(&world, &ids);
+    assert!(index.is_current(&world));
+    assert_eq!(index.generation(), world.generation());
+
+    world.scale_budget_factor(1.25);
+
+    // The same bump stales the index...
+    assert!(!index.is_current(&world), "index must observe the epoch move");
+    // ...and invalidates the cache.
+    cache.sync_generation(world.generation());
+    let engine = world.reach_engine();
+    let fresh = engine.conjunction_reach_in(&ids, CountryFilter::ALL);
+    let after = cache.reach(&ids, CountryFilter::ALL, None, || {
+        engine.conjunction_reach_in(&ids, CountryFilter::ALL)
+    });
+    assert_eq!(after.to_bits(), fresh.to_bits());
+    assert!(cache.stats().invalidations >= 1);
+
+    // A rebuild lands on the new epoch and agrees with the reference scan
+    // over the mutated carriage model.
+    let rebuilt = ReachIndex::build_for(&world, &ids);
+    assert!(rebuilt.is_current(&world));
+    assert_eq!(
+        rebuilt.conjunction_count(&ids, CountryFilter::ALL),
+        Some(boolean_reference_count(&world, &ids, CountryFilter::ALL))
+    );
+}
+
+#[test]
 fn disabled_cache_recomputes_and_stays_empty() {
     let world = test_world(606);
     let engine = world.reach_engine();

@@ -3,14 +3,16 @@
 #
 #   scripts/check.sh          # fmt check + lint + release build + tests
 #
-# Tests run four times: once strictly sequentially (UOF_THREADS=1), once
+# Tests run five times: once strictly sequentially (UOF_THREADS=1), once
 # at the default thread count — so a scheduling-dependent regression in the
 # parallel pipeline cannot hide behind either configuration — once with
 # the reach query cache disabled (UOF_REACH_CACHE=0), so nothing silently
-# depends on cached answers, and once with telemetry recording enabled
-# (UOF_TELEMETRY=1), so instrumentation can never perturb an output.
-# Tests that assert cache or telemetry behaviour construct explicit
-# configs and are immune to the sweeps.
+# depends on cached answers, once with telemetry recording enabled
+# (UOF_TELEMETRY=1), so instrumentation can never perturb an output, and
+# once with the posting-list index enabled (UOF_REACH_INDEX=1), so the
+# sampled-count path cannot perturb the float oracle. Tests that assert
+# cache, telemetry, or index behaviour construct explicit configs and are
+# immune to the sweeps.
 #
 # Each step fails fast; run from anywhere inside the repo.
 set -euo pipefail
@@ -46,5 +48,8 @@ UOF_REACH_CACHE=0 cargo test -q
 
 echo "==> cargo test -q (UOF_TELEMETRY=1, telemetry recording enabled)"
 UOF_TELEMETRY=1 cargo test -q
+
+echo "==> cargo test -q (UOF_REACH_INDEX=1, posting-list index enabled)"
+UOF_REACH_INDEX=1 cargo test -q
 
 echo "==> all checks passed"
