@@ -226,8 +226,10 @@ impl PostingList {
 }
 
 /// SplitMix64 finalizer — the statistically solid single-round mixer.
+/// Crate-visible: the shard-assignment hash (see [`crate::shard`]) reuses
+/// it so shard ownership is a pure function of the seeded world config.
 #[inline]
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -430,6 +432,15 @@ impl ReachIndex {
             interests = ids.len(),
             countries = filter.len(),
         );
+        let acc = self.conjunction_words(ids, filter)?;
+        Some(acc.iter().map(|w| u64::from(w.count_ones())).sum())
+    }
+
+    /// The panel-wide survivor bitmap of a conjunction under `filter`, or
+    /// `None` if any interest lacks a posting list. An all-zero accumulator
+    /// short-circuits the AND-chain but still returns the (zeroed) words so
+    /// per-block callers see a complete bitmap.
+    fn conjunction_words(&self, ids: &[InterestId], filter: CountryFilter) -> Option<Vec<u64>> {
         let word_len = self.panel_len.div_ceil(64);
         let mut acc = vec![0u64; word_len];
         match ids.split_first() {
@@ -438,18 +449,60 @@ impl ReachIndex {
                 self.posting(head)?.expand_into(&mut acc);
                 mask_panel_tail(&mut acc, self.panel_len);
                 if !self.apply_filter(filter, &mut acc) {
-                    return Some(0);
+                    acc.fill(0);
+                    return Some(acc);
                 }
                 for &id in tail {
                     let list = self.posting(id)?;
                     list.intersect_into(&mut acc);
                     if acc.iter().all(|&w| w == 0) {
-                        return Some(0);
+                        return Some(acc);
                     }
                 }
             }
         }
-        Some(acc.iter().map(|w| u64::from(w.count_ones())).sum())
+        Some(acc)
+    }
+
+    /// Per-block conjunction counts for the [`BLOCK_USERS`]-sized blocks in
+    /// `blocks` (global block indices), or `None` if any interest lacks a
+    /// posting list. `result[k]` counts survivors inside block `blocks[k]`;
+    /// summing the counts of **all** blocks equals
+    /// [`ReachIndex::conjunction_count`] exactly — the sharding contract
+    /// (index blocks coincide with the float engine's
+    /// [`crate::reach::CHUNK_USERS`] chunks, so a shard owning a chunk set
+    /// serves the same rows under either oracle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block index is out of range.
+    pub fn conjunction_count_in_blocks(
+        &self,
+        ids: &[InterestId],
+        filter: CountryFilter,
+        blocks: &[usize],
+    ) -> Option<Vec<u64>> {
+        let _span = uof_telemetry::span!(
+            "engine.index_count_blocks",
+            interests = ids.len(),
+            blocks = blocks.len(),
+        );
+        let nblocks = self.panel_len.div_ceil(BLOCK_USERS);
+        let acc = self.conjunction_words(ids, filter)?;
+        Some(
+            blocks
+                .iter()
+                .map(|&b| {
+                    assert!(
+                        b < nblocks,
+                        "block index {b} out of range (panel has {nblocks} blocks)"
+                    );
+                    let lo = b * BLOCK_WORDS;
+                    let hi = (lo + BLOCK_WORDS).min(acc.len());
+                    acc[lo..hi].iter().map(|w| u64::from(w.count_ones())).sum()
+                })
+                .collect(),
+        )
     }
 
     /// The sampled-count reach estimate: `conjunction_count × scale`, the
@@ -623,6 +676,58 @@ mod tests {
         let panel_us = world().panel().users().iter().filter(|u| u.country == 0).count() as u64;
         assert_eq!(us, panel_us);
         assert_eq!(idx.conjunction_count(&[], CountryFilter::from_bits(0)), Some(0));
+    }
+
+    #[test]
+    fn block_counts_sum_to_conjunction_count() {
+        let idx = index();
+        let nblocks = idx.panel_len().div_ceil(BLOCK_USERS);
+        let all_blocks: Vec<usize> = (0..nblocks).collect();
+        let cases: Vec<Vec<InterestId>> = vec![
+            vec![],
+            vec![InterestId(3), InterestId(17)],
+            (0..8).map(|i| InterestId(i * 71 % 600)).collect(),
+        ];
+        for filter in [CountryFilter::ALL, CountryFilter::of(&[0]), CountryFilter::of(&[1, 7, 31])]
+        {
+            for ids in &cases {
+                let per_block =
+                    idx.conjunction_count_in_blocks(ids, filter, &all_blocks).expect("built");
+                assert_eq!(per_block.len(), nblocks);
+                let total: u64 = per_block.iter().sum();
+                assert_eq!(
+                    Some(total),
+                    idx.conjunction_count(ids, filter),
+                    "ids {ids:?} filter {:#x}",
+                    filter.bits()
+                );
+                // A subset query returns the same per-block values.
+                let subset = [nblocks - 1, 0];
+                let got = idx.conjunction_count_in_blocks(ids, filter, &subset).expect("built");
+                assert_eq!(got, vec![per_block[nblocks - 1], per_block[0]]);
+            }
+        }
+    }
+
+    #[test]
+    fn block_counts_report_missing_postings() {
+        let idx = ReachIndex::build_for(world(), &[InterestId(1)]);
+        assert_eq!(
+            idx.conjunction_count_in_blocks(
+                &[InterestId(1), InterestId(2)],
+                CountryFilter::ALL,
+                &[0]
+            ),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_counts_reject_out_of_range_blocks() {
+        let idx = index();
+        let nblocks = idx.panel_len().div_ceil(BLOCK_USERS);
+        let _ = idx.conjunction_count_in_blocks(&[], CountryFilter::ALL, &[nblocks]);
     }
 
     #[test]

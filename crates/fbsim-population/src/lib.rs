@@ -50,6 +50,7 @@ pub mod countries;
 pub mod index;
 pub mod panel;
 pub mod reach;
+pub mod shard;
 pub mod taste;
 pub mod world;
 
@@ -58,5 +59,6 @@ pub use cohort::MaterializedUser;
 pub use config::WorldConfig;
 pub use countries::{CountryCode, TARGETING_UNIVERSE};
 pub use index::{IndexConfig, ReachIndex};
-pub use reach::{ReachEngine, SweepState};
+pub use reach::{ReachEngine, SweepState, CHUNK_USERS};
+pub use shard::{ShardAssignment, ShardSpec};
 pub use world::World;

@@ -166,7 +166,91 @@ impl SweepState {
 /// small enough to parallelise test-scale panels. The chunk partition is
 /// independent of the thread count and the engine folds chunk partials in
 /// chunk order, so reach values are bit-identical at any `UOF_THREADS`.
-const CHUNK: usize = 4_096;
+///
+/// Public because the chunk partition is also the unit of panel
+/// **sharding** (see [`crate::shard`]): a shard backend computes the
+/// per-chunk partial sums for the chunks it owns, and the router folds
+/// them back in ascending chunk index — reproducing the single-node
+/// reduction tree exactly. Equals [`crate::index::BLOCK_USERS`], so the
+/// posting-list index's block partition lines up with the engine's chunks
+/// (pinned by a test).
+pub const CHUNK_USERS: usize = 4_096;
+
+/// Internal alias kept for the existing kernel code.
+const CHUNK: usize = CHUNK_USERS;
+
+/// Per-chunk scalar kernel: the freeze-and-drop sum of per-user conjunction
+/// products over one chunk of panel users (unscaled). This is *the* kernel
+/// both [`ReachEngine::conjunction_reach_in`] and
+/// [`ReachEngine::conjunction_chunk_partials`] run, so a sharded
+/// recomputation is bit-identical to the one-shot path by construction.
+fn scalar_chunk_acc(
+    chunk: &[crate::panel::PanelUser],
+    params: &[(f64, crate::catalog::TopicId)],
+    filter: CountryFilter,
+    base: f32,
+) -> f64 {
+    let mut acc = 0.0f64;
+    for user in chunk {
+        if !filter.contains(user.country) {
+            continue;
+        }
+        // Same per-user rule as the sweeps: multiply while the
+        // running product stays above the cutoff; a user frozen
+        // before the last interest contributes nothing. (The
+        // first multiply always happens — the product starts at
+        // 1.0 — so single-interest queries are never dropped.)
+        let mut product = 1.0f64;
+        let mut live = true;
+        for &(score, topic) in params {
+            if product > 1e-300 {
+                product *= user.carriage_probability(score, topic, base);
+            } else {
+                live = false;
+                break;
+            }
+        }
+        if live {
+            acc += product;
+        }
+    }
+    acc
+}
+
+/// Per-chunk nested kernel: the freeze-and-drop per-prefix sums over one
+/// chunk of panel users (unscaled; element `k` is the chunk's contribution
+/// to prefix `k + 1`). Shared by [`ReachEngine::nested_reaches_in`] and
+/// [`ReachEngine::nested_chunk_partials`] — same bit-identity argument as
+/// [`scalar_chunk_acc`].
+fn nested_chunk_acc(
+    chunk: &[crate::panel::PanelUser],
+    params: &[(f64, crate::catalog::TopicId)],
+    filter: CountryFilter,
+    base: f32,
+) -> Vec<f64> {
+    let mut acc = vec![0.0f64; params.len()];
+    let mut products = vec![0.0f64; chunk.len()];
+    // First interest initialises the running products.
+    for (slot, user) in products.iter_mut().zip(chunk) {
+        *slot = if filter.contains(user.country) {
+            user.carriage_probability(params[0].0, params[0].1, base)
+        } else {
+            0.0
+        };
+        acc[0] += *slot;
+    }
+    for (k, &(score, topic)) in params.iter().enumerate().skip(1) {
+        let mut step = 0.0f64;
+        for (slot, user) in products.iter_mut().zip(chunk) {
+            if *slot > 1e-300 {
+                *slot *= user.carriage_probability(score, topic, base);
+                step += *slot;
+            }
+        }
+        acc[k] = step;
+    }
+    acc
+}
 
 impl<'a> ReachEngine<'a> {
     /// Creates an engine borrowing the world's catalog and panel.
@@ -215,33 +299,7 @@ impl<'a> ReachEngine<'a> {
             .panel
             .users()
             .par_chunks(CHUNK)
-            .map(|chunk| {
-                let mut acc = 0.0f64;
-                for user in chunk {
-                    if !filter.contains(user.country) {
-                        continue;
-                    }
-                    // Same per-user rule as the sweeps: multiply while the
-                    // running product stays above the cutoff; a user frozen
-                    // before the last interest contributes nothing. (The
-                    // first multiply always happens — the product starts at
-                    // 1.0 — so single-interest queries are never dropped.)
-                    let mut product = 1.0f64;
-                    let mut live = true;
-                    for &(score, topic) in &params {
-                        if product > 1e-300 {
-                            product *= user.carriage_probability(score, topic, base);
-                        } else {
-                            live = false;
-                            break;
-                        }
-                    }
-                    if live {
-                        acc += product;
-                    }
-                }
-                acc
-            })
+            .map(|chunk| scalar_chunk_acc(chunk, &params, filter, base))
             .sum();
         sum * self.panel.scale()
     }
@@ -281,30 +339,7 @@ impl<'a> ReachEngine<'a> {
             .panel
             .users()
             .par_chunks(CHUNK)
-            .map(|chunk| {
-                let mut acc = vec![0.0f64; params.len()];
-                let mut products = vec![0.0f64; chunk.len()];
-                // First interest initialises the running products.
-                for (slot, user) in products.iter_mut().zip(chunk) {
-                    *slot = if filter.contains(user.country) {
-                        user.carriage_probability(params[0].0, params[0].1, base)
-                    } else {
-                        0.0
-                    };
-                    acc[0] += *slot;
-                }
-                for (k, &(score, topic)) in params.iter().enumerate().skip(1) {
-                    let mut step = 0.0f64;
-                    for (slot, user) in products.iter_mut().zip(chunk) {
-                        if *slot > 1e-300 {
-                            *slot *= user.carriage_probability(score, topic, base);
-                            step += *slot;
-                        }
-                    }
-                    acc[k] = step;
-                }
-                acc
-            })
+            .map(|chunk| nested_chunk_acc(chunk, &params, filter, base))
             .reduce(
                 || vec![0.0f64; params.len()],
                 |mut a, b| {
@@ -417,6 +452,114 @@ impl<'a> ReachEngine<'a> {
     /// Total simulated population (reach of the empty conjunction).
     pub fn population(&self) -> f64 {
         self.panel.scale() * self.panel.len() as f64
+    }
+
+    /// Number of [`CHUNK_USERS`]-sized chunks in the panel partition — the
+    /// unit of sharding (see [`crate::shard`]).
+    pub fn chunk_count(&self) -> usize {
+        self.panel.len().div_ceil(CHUNK)
+    }
+
+    /// Per-chunk **unscaled** scalar partials for the given global chunk
+    /// indices: element `j` is the freeze-and-drop sum of per-user products
+    /// over chunk `chunks[j]` — exactly the partial the one-shot path
+    /// computes for that chunk.
+    ///
+    /// Folding the partials of *all* chunks `0..chunk_count()` into an
+    /// `0.0`-initialised accumulator in **ascending chunk order** and
+    /// multiplying by the panel scale reproduces
+    /// [`ReachEngine::conjunction_reach_in`] bit for bit: the kernel is
+    /// shared, and the vendored rayon `sum` folds block partials in block
+    /// order from `0.0` (and `0.0 + x == x` bitwise for these non-negative
+    /// sums). This is the sharding determinism contract the router relies
+    /// on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a chunk index is out of range or an interest id is outside
+    /// the catalog.
+    pub fn conjunction_chunk_partials(
+        &self,
+        ids: &[InterestId],
+        filter: CountryFilter,
+        chunks: &[usize],
+    ) -> Vec<f64> {
+        let _span = uof_telemetry::span!(
+            "engine.conjunction_chunk_partials",
+            interests = ids.len(),
+            chunks = chunks.len(),
+        );
+        let base = self.panel.base_affinity();
+        let params: Vec<(f64, crate::catalog::TopicId)> = ids
+            .iter()
+            .map(|&id| {
+                let i = self.catalog.interest(id);
+                (i.score, i.topic)
+            })
+            .collect();
+        let users = self.panel.users();
+        let n = users.len();
+        let nchunks = self.chunk_count();
+        chunks
+            .par_chunks(1)
+            .map(|slot| {
+                let c = slot[0];
+                assert!(c < nchunks, "chunk index {c} out of range (panel has {nchunks} chunks)");
+                let lo = c * CHUNK;
+                let hi = ((c + 1) * CHUNK).min(n);
+                scalar_chunk_acc(&users[lo..hi], &params, filter, base)
+            })
+            .collect()
+    }
+
+    /// Per-chunk **unscaled** nested partials for the given global chunk
+    /// indices: element `j` holds, for chunk `chunks[j]`, the chunk's
+    /// contribution to every prefix of `ids` (inner element `k` → prefix
+    /// `k + 1`). Same fold-in-ascending-chunk-order bit-identity contract
+    /// as [`ReachEngine::conjunction_chunk_partials`], element-wise against
+    /// [`ReachEngine::nested_reaches_in`].
+    ///
+    /// Returns one empty inner vector per chunk when `ids` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a chunk index is out of range or an interest id is outside
+    /// the catalog.
+    pub fn nested_chunk_partials(
+        &self,
+        ids: &[InterestId],
+        filter: CountryFilter,
+        chunks: &[usize],
+    ) -> Vec<Vec<f64>> {
+        let _span = uof_telemetry::span!(
+            "engine.nested_chunk_partials",
+            interests = ids.len(),
+            chunks = chunks.len(),
+        );
+        if ids.is_empty() {
+            return vec![Vec::new(); chunks.len()];
+        }
+        let base = self.panel.base_affinity();
+        let params: Vec<(f64, crate::catalog::TopicId)> = ids
+            .iter()
+            .map(|&id| {
+                let i = self.catalog.interest(id);
+                (i.score, i.topic)
+            })
+            .collect();
+        let users = self.panel.users();
+        let n = users.len();
+        let nchunks = self.chunk_count();
+        chunks
+            .par_chunks(1)
+            .map(|slot| {
+                let c = slot[0];
+                assert!(c < nchunks, "chunk index {c} out of range (panel has {nchunks} chunks)");
+                let lo = c * CHUNK;
+                let hi = ((c + 1) * CHUNK).min(n);
+                nested_chunk_acc(&users[lo..hi], &params, filter, base)
+            })
+            .collect()
     }
 }
 
@@ -638,6 +781,109 @@ mod tests {
         assert!(reaches.is_empty());
         assert_eq!(next.depth(), 0);
         assert_eq!(next.heap_bytes(), state.heap_bytes());
+    }
+
+    #[test]
+    fn chunk_partials_fold_bit_identical_to_one_shot_scalar() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        let ids: Vec<InterestId> = (0..8).map(|i| InterestId(i * 53 + 2)).collect();
+        let nchunks = engine.chunk_count();
+        assert!(nchunks >= 2, "fixture panel must span several chunks");
+        for filter in [CountryFilter::ALL, CountryFilter::of(&[0, 7])] {
+            let want = engine.conjunction_reach_in(&ids, filter);
+            // Any shard partition of the chunk set folds back bit-identically
+            // when merged in ascending chunk order.
+            for shards in [2usize, 3, 5] {
+                let mut merged = vec![f64::NAN; nchunks];
+                for s in 0..shards {
+                    let owned: Vec<usize> = (0..nchunks).filter(|c| c % shards == s).collect();
+                    let partials = engine.conjunction_chunk_partials(&ids, filter, &owned);
+                    for (c, p) in owned.iter().zip(partials) {
+                        merged[*c] = p;
+                    }
+                }
+                let mut acc = 0.0f64;
+                for p in merged {
+                    assert!(!p.is_nan(), "a chunk was left unowned");
+                    acc += p;
+                }
+                let got = acc * panel.scale();
+                assert_eq!(got.to_bits(), want.to_bits(), "{shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_partials_fold_bit_identical_to_one_shot_nested() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        let ids: Vec<InterestId> = (0..10).map(|i| InterestId(i * 97 + 5)).collect();
+        let nchunks = engine.chunk_count();
+        let filter = CountryFilter::of(&[0, 3, 17]);
+        let want = engine.nested_reaches_in(&ids, filter);
+        for shards in [2usize, 4] {
+            let mut merged: Vec<Option<Vec<f64>>> = vec![None; nchunks];
+            for s in 0..shards {
+                let owned: Vec<usize> = (0..nchunks).filter(|c| c % shards == s).collect();
+                let partials = engine.nested_chunk_partials(&ids, filter, &owned);
+                for (c, p) in owned.iter().zip(partials) {
+                    merged[*c] = Some(p);
+                }
+            }
+            let mut acc = vec![0.0f64; ids.len()];
+            for p in merged {
+                let p = p.expect("a chunk was left unowned");
+                for (x, y) in acc.iter_mut().zip(p) {
+                    *x += y;
+                }
+            }
+            for (k, (a, b)) in acc.iter().zip(&want).enumerate() {
+                let got = a * panel.scale();
+                assert_eq!(got.to_bits(), b.to_bits(), "{shards} shards, prefix {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_partials_are_thread_count_invariant() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        let ids: Vec<InterestId> = (0..6).map(|i| InterestId(i * 11)).collect();
+        let chunks: Vec<usize> = (0..engine.chunk_count()).collect();
+        let seq = rayon::with_thread_count(1, || {
+            engine.conjunction_chunk_partials(&ids, CountryFilter::ALL, &chunks)
+        });
+        for threads in [2, 5] {
+            let par = rayon::with_thread_count(threads, || {
+                engine.conjunction_chunk_partials(&ids, CountryFilter::ALL, &chunks)
+            });
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_conjunction_chunk_partials_count_filter_membership() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        let chunks: Vec<usize> = (0..engine.chunk_count()).collect();
+        let partials = engine.conjunction_chunk_partials(&[], CountryFilter::ALL, &chunks);
+        let total: f64 = partials.iter().sum();
+        assert_eq!((total * panel.scale()).to_bits(), engine.population().to_bits());
+        // Nested partials over an empty sequence are empty per chunk.
+        let nested = engine.nested_chunk_partials(&[], CountryFilter::ALL, &chunks);
+        assert_eq!(nested.len(), chunks.len());
+        assert!(nested.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn chunk_partials_reject_out_of_range_chunks() {
+        let (catalog, panel) = engine_fixture();
+        let engine = ReachEngine::new(&catalog, &panel);
+        engine.conjunction_chunk_partials(&[InterestId(0)], CountryFilter::ALL, &[usize::MAX]);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Deterministic panel sharding for the router/aggregator serving mode.
+//!
+//! A sharded reach service runs N backend servers, each answering queries
+//! for the subset of the Monte-Carlo panel it *owns*, plus a router that
+//! fans a conjunction out and folds the per-shard partials back together.
+//! Two properties make the merged answer bit-identical to a single-node
+//! evaluation:
+//!
+//! 1. **The chunk is the shard unit.** The engine already partitions the
+//!    panel into [`crate::reach::CHUNK_USERS`]-sized chunks and folds
+//!    per-chunk partials in ascending chunk order (the thread-count
+//!    determinism contract of [`crate::reach`]). Shards own whole chunks,
+//!    return the per-chunk partials tagged with their global chunk index,
+//!    and the router folds them in exactly that order — reproducing the
+//!    single-node reduction tree, not merely an equivalent sum.
+//! 2. **Ownership is a pure function of the seeded world config.** A
+//!    chunk's owner is `splitmix64(seed ⊕ domain ⊕ chunk) mod shards`
+//!    (the same mixer the posting-list index draws use), so every process
+//!    that generated the same [`crate::world::World`] derives the same
+//!    assignment without any coordination — the router and each backend
+//!    agree on who owns what by construction.
+//!
+//! The hash-based assignment (rather than contiguous ranges) keeps shard
+//! loads statistically balanced even when panel structure correlates with
+//! user index (panel generation is country-ordered).
+
+use crate::reach::CHUNK_USERS;
+use crate::world::World;
+
+/// Domain-separation constant mixed into the world seed for shard draws,
+/// so shard ownership never correlates with the index's membership draws.
+const SHARD_DOMAIN: u64 = 0x5AAD_51AB_D0E7_3157;
+
+/// One backend's place in a sharded deployment: `index` of `count` shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This backend's shard index (`0..count`).
+    pub index: u32,
+    /// Total number of shards in the deployment.
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// Checks the spec is usable: at least one shard, index in range.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if self.index >= self.count {
+            return Err(format!("shard index {} out of range (count {})", self.index, self.count));
+        }
+        Ok(())
+    }
+}
+
+/// The deterministic chunk→shard ownership map for one world and shard
+/// count. See the module docs for the two-property contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardAssignment {
+    seed: u64,
+    count: u32,
+    chunk_count: usize,
+}
+
+impl ShardAssignment {
+    /// Derives the assignment from a world's seeded config and panel size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(world: &World, count: u32) -> Self {
+        assert!(count > 0, "shard count must be at least 1");
+        Self {
+            seed: world.config().seed,
+            count,
+            chunk_count: world.panel().len().div_ceil(CHUNK_USERS),
+        }
+    }
+
+    /// Total number of shards.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Number of panel chunks being distributed.
+    pub fn chunk_count(&self) -> usize {
+        self.chunk_count
+    }
+
+    /// The shard that owns global chunk `chunk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is out of range.
+    pub fn owner(&self, chunk: usize) -> u32 {
+        assert!(
+            chunk < self.chunk_count,
+            "chunk {chunk} out of range ({} chunks)",
+            self.chunk_count
+        );
+        let mix = crate::index::splitmix64(self.seed ^ SHARD_DOMAIN ^ chunk as u64);
+        (mix % u64::from(self.count)) as u32
+    }
+
+    /// The global chunk indices shard `shard` owns, ascending. Empty when
+    /// the hash happens to assign a small panel's chunks elsewhere — a
+    /// valid (idle) shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn chunks_of(&self, shard: u32) -> Vec<usize> {
+        assert!(shard < self.count, "shard {shard} out of range (count {})", self.count);
+        (0..self.chunk_count).filter(|&c| self.owner(c) == shard).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use std::sync::OnceLock;
+
+    fn world() -> &'static World {
+        static WORLD: OnceLock<World> = OnceLock::new();
+        WORLD.get_or_init(|| World::generate(WorldConfig::test_scale(23)).unwrap())
+    }
+
+    #[test]
+    fn shards_partition_the_chunk_set_exactly() {
+        for count in [1u32, 2, 3, 5, 8] {
+            let assignment = ShardAssignment::new(world(), count);
+            let mut seen = vec![0u32; assignment.chunk_count()];
+            for s in 0..count {
+                for c in assignment.chunks_of(s) {
+                    seen[c] += 1;
+                    assert_eq!(assignment.owner(c), s);
+                }
+            }
+            assert!(seen.iter().all(|&n| n == 1), "count {count}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn assignment_is_a_pure_function_of_config() {
+        let a = ShardAssignment::new(world(), 3);
+        let b = ShardAssignment::new(world(), 3);
+        assert_eq!(a, b);
+        for c in 0..a.chunk_count() {
+            assert_eq!(a.owner(c), b.owner(c));
+        }
+        // A different seed reshuffles ownership (equal panel size, so any
+        // difference must come from the seed).
+        let other = World::generate(WorldConfig::test_scale(24)).unwrap();
+        let c = ShardAssignment::new(&other, 3);
+        assert_eq!(c.chunk_count(), a.chunk_count());
+    }
+
+    #[test]
+    fn chunks_of_is_ascending() {
+        let assignment = ShardAssignment::new(world(), 2);
+        for s in 0..2 {
+            let chunks = assignment.chunks_of(s);
+            assert!(chunks.windows(2).all(|w| w[0] < w[1]), "shard {s}: {chunks:?}");
+        }
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(ShardSpec { index: 0, count: 1 }.validate().is_ok());
+        assert!(ShardSpec { index: 2, count: 3 }.validate().is_ok());
+        assert!(ShardSpec { index: 0, count: 0 }.validate().is_err());
+        assert!(ShardSpec { index: 3, count: 3 }.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn owner_rejects_out_of_range_chunk() {
+        ShardAssignment::new(world(), 2).owner(usize::MAX);
+    }
+
+    #[test]
+    fn engine_chunks_align_with_index_blocks() {
+        // The shard unit must line up with both partitions.
+        assert_eq!(crate::reach::CHUNK_USERS, crate::index::BLOCK_USERS);
+    }
+}

@@ -1,9 +1,11 @@
-//! Blocking reach client with rate-limit backoff.
+//! Blocking reach client with rate-limit backoff and request pipelining.
 //!
 //! The data-collection pipeline issues thousands of reach queries; when the
 //! server throttles, the client honours the server-suggested wait (with a
 //! retry cap) — the same etiquette the paper's collection against the real
-//! Marketing API required.
+//! Marketing API required. [`ReachClient::pipeline`] amortises the
+//! round-trip by writing a whole batch of id-tagged frames before reading
+//! any response, matching answers back by echoed id.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -12,7 +14,17 @@ use std::time::Duration;
 use reach_cache::CacheStats;
 use uof_telemetry::RegistrySnapshot;
 
-use crate::proto::{decode, encode, FrameCodec, FrameError, ReachRequest, ReachResponse};
+use crate::proto::{
+    decode_response_frame, encode, FrameCodec, FrameError, ReachRequest, ReachResponse,
+};
+use crate::server::MAX_RETRY_BACKOFF;
+
+/// Default ceiling on a single backoff sleep. Matches the server's
+/// [`MAX_RETRY_BACKOFF`]: the server never suggests a longer wait, so the
+/// default client honours every priced suggestion instead of silently
+/// truncating it (a 2s cap used to burn all retries in ~16s against a
+/// server that had asked for 60s).
+pub const DEFAULT_MAX_BACKOFF: Duration = MAX_RETRY_BACKOFF;
 
 /// Client-side errors.
 #[derive(Debug)]
@@ -31,6 +43,13 @@ pub enum ClientError {
     /// The server answered with a response kind the request cannot produce
     /// (e.g. a scalar reach for a nested query) — a protocol bug.
     UnexpectedResponse(&'static str),
+    /// A previous request died mid-response (e.g. a read timeout), and the
+    /// server does not echo request ids, so an arriving response can no
+    /// longer be matched to a request — it may be the late answer to the
+    /// abandoned one. The connection must be re-established. Id-echoing
+    /// servers never trigger this: stale responses are identified by id and
+    /// discarded instead.
+    Desynchronized,
 }
 
 impl std::fmt::Display for ClientError {
@@ -43,6 +62,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Disconnected => write!(f, "server closed the connection"),
             ClientError::UnexpectedResponse(kind) => {
                 write!(f, "unexpected response kind: {kind}")
+            }
+            ClientError::Desynchronized => {
+                write!(f, "response stream desynchronized after an aborted request; reconnect")
             }
         }
     }
@@ -81,15 +103,42 @@ pub struct ClientReach {
     pub too_narrow_warning: bool,
 }
 
+/// A shard backend's raw per-chunk partials, as seen by the router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPartials {
+    /// World generation the partials were computed under.
+    pub generation: u64,
+    /// Global chunk indices the shard owns, ascending.
+    pub chunks: Vec<u32>,
+    /// Per-chunk partial values (see [`ReachResponse::ShardPartials`]).
+    pub values: Vec<Vec<u64>>,
+}
+
+/// The wait before retry `retries` (1-based) of a rate-limited request:
+/// the server-suggested `retry_after_ms` plus a growing safety margin,
+/// capped at `max_backoff`. Pure, so the boundary is unit-testable: with
+/// the default cap of [`DEFAULT_MAX_BACKOFF`], every wait the server can
+/// suggest (≤ [`MAX_RETRY_BACKOFF`]) is honoured almost in full, instead
+/// of being silently truncated to a fraction of itself.
+pub fn backoff_wait(retry_after_ms: u64, retries: u32, max_backoff: Duration) -> Duration {
+    Duration::from_millis(retry_after_ms.saturating_add(u64::from(retries) * 2)).min(max_backoff)
+}
+
 /// Blocking client over one TCP connection.
 pub struct ReachClient {
     stream: TcpStream,
     codec: FrameCodec,
+    /// Next pipelining id to assign (ids are unique per connection).
+    next_id: u64,
+    /// Set when a request was abandoned mid-response; see
+    /// [`ClientError::Desynchronized`].
+    desynced: bool,
     /// Maximum rate-limit retries per request.
     pub max_retries: u32,
     /// Upper bound on any single backoff sleep. Server-suggested waits are
-    /// advisory; a client must never trust an unbounded value (a
-    /// near-empty token bucket can suggest hours).
+    /// advisory; a client must never trust an unbounded value — but the
+    /// default ceiling ([`DEFAULT_MAX_BACKOFF`]) is high enough to honour
+    /// every wait the server itself would suggest.
     pub max_backoff: Duration,
 }
 
@@ -106,9 +155,21 @@ impl ReachClient {
         Ok(Self {
             stream,
             codec: FrameCodec::new(),
+            next_id: 1,
+            desynced: false,
             max_retries: 8,
-            max_backoff: Duration::from_secs(2),
+            max_backoff: DEFAULT_MAX_BACKOFF,
         })
+    }
+
+    /// Overrides the socket read timeout (mainly for tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
     }
 
     /// Queries the potential reach of a conjunction of interests in a
@@ -192,6 +253,23 @@ impl ReachClient {
         }
     }
 
+    /// Fetches a shard backend's raw per-chunk partials for `request`
+    /// (which should be a scalar, nested, or sampled query; the `shard`
+    /// flag is set here). Only meaningful against a shard-configured
+    /// backend — anything else refuses the opcode.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn shard_partials(&mut self, request: &ReachRequest) -> Result<ShardPartials, ClientError> {
+        match self.request(&request.clone().with_shard())? {
+            ReachResponse::ShardPartials { generation, chunks, values } => {
+                Ok(ShardPartials { generation, chunks, values })
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Fetches the server's query-cache statistics snapshot.
     ///
     /// # Errors
@@ -220,22 +298,53 @@ impl ReachClient {
     }
 
     /// Sends one request, retrying through rate limits, and returns the
-    /// first substantive response.
-    fn request(&mut self, request: &ReachRequest) -> Result<ReachResponse, ClientError> {
+    /// first substantive response. The request is tagged with a fresh
+    /// pipelining id (old id-less servers ignore it and answer in order).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn request(&mut self, request: &ReachRequest) -> Result<ReachResponse, ClientError> {
+        let id = self.send(request)?;
+        self.receive(request, id)
+    }
+
+    /// Writes one id-tagged request **without** reading the response — the
+    /// fan-out half of a cross-connection pipeline (a router writes to all
+    /// backends first, so they compute concurrently, then collects). Pair
+    /// with [`ReachClient::receive`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn send(&mut self, request: &ReachRequest) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        self.stream.write_all(&encode(&request.clone().with_id(id)))?;
+        Ok(id)
+    }
+
+    /// Reads the response to a previously [`ReachClient::send`]-issued id,
+    /// resending `request` through rate limits with backoff.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn receive(
+        &mut self,
+        request: &ReachRequest,
+        id: u64,
+    ) -> Result<ReachResponse, ClientError> {
+        let mut id = id;
         let mut retries = 0;
         loop {
-            self.stream.write_all(&encode(request))?;
-            match self.read_response()? {
+            match self.read_matching(id)? {
                 ReachResponse::RateLimited { retry_after_ms } => {
                     if retries >= self.max_retries {
                         return Err(ClientError::RateLimitExhausted);
                     }
                     retries += 1;
-                    // Server-suggested wait plus a growing safety margin,
-                    // capped: the suggestion is advisory, not a contract.
-                    let wait = Duration::from_millis(retry_after_ms + (retries as u64) * 2)
-                        .min(self.max_backoff);
-                    std::thread::sleep(wait);
+                    std::thread::sleep(backoff_wait(retry_after_ms, retries, self.max_backoff));
+                    id = self.send(request)?;
                 }
                 ReachResponse::Error { message } => return Err(ClientError::Server(message)),
                 substantive => return Ok(substantive),
@@ -243,13 +352,135 @@ impl ReachClient {
         }
     }
 
-    fn read_response(&mut self) -> Result<ReachResponse, ClientError> {
+    /// Writes all of `requests` before reading any response — one round
+    /// trip (and one TCP segment train) for the whole batch — then returns
+    /// the responses **in request order**, matched by echoed id. Against an
+    /// id-less v1 server the batch still works: responses arrive in request
+    /// order and fill the slots in order.
+    ///
+    /// Rate-limited slots are retried in rounds (fresh ids, one backoff
+    /// sleep per round, up to `max_retries` rounds); a slot still throttled
+    /// after the budget keeps its final [`ReachResponse::RateLimited`], so
+    /// one hot slot cannot fail the rest of the batch. Server-side request
+    /// errors likewise stay in their slots as [`ReachResponse::Error`].
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures only ([`ClientError::Io`],
+    /// [`ClientError::BadFrame`], [`ClientError::Disconnected`],
+    /// [`ClientError::Desynchronized`]).
+    pub fn pipeline(
+        &mut self,
+        requests: &[ReachRequest],
+    ) -> Result<Vec<ReachResponse>, ClientError> {
+        let mut slots: Vec<Option<ReachResponse>> = Vec::new();
+        slots.resize_with(requests.len(), || None);
+        // In-flight (id, slot) pairs, in write order — the order an id-less
+        // server's responses arrive in.
+        let mut pending: Vec<(u64, usize)> = Vec::with_capacity(requests.len());
+        let mut wire = Vec::new();
+        for (slot, request) in requests.iter().enumerate() {
+            let id = self.fresh_id();
+            pending.push((id, slot));
+            wire.extend_from_slice(&encode(&request.clone().with_id(id)));
+        }
+        self.stream.write_all(&wire)?;
+        let mut rounds = 0u32;
+        loop {
+            let mut rate_limited: Vec<(usize, u64)> = Vec::new();
+            while !pending.is_empty() {
+                let (id, response) = self.read_response()?;
+                let slot = match id {
+                    Some(got) => match pending.iter().position(|&(p, _)| p == got) {
+                        Some(k) => pending.remove(k).1,
+                        // A late answer to an id abandoned before this
+                        // batch: identified, discarded, harmless.
+                        None => continue,
+                    },
+                    None => {
+                        if self.desynced {
+                            return Err(ClientError::Desynchronized);
+                        }
+                        pending.remove(0).1
+                    }
+                };
+                if let ReachResponse::RateLimited { retry_after_ms } = response {
+                    rate_limited.push((slot, retry_after_ms));
+                } else {
+                    slots[slot] = Some(response);
+                }
+            }
+            if rate_limited.is_empty() {
+                break;
+            }
+            if rounds >= self.max_retries {
+                for (slot, retry_after_ms) in rate_limited {
+                    slots[slot] = Some(ReachResponse::RateLimited { retry_after_ms });
+                }
+                break;
+            }
+            rounds += 1;
+            let worst = rate_limited.iter().map(|&(_, ms)| ms).max().unwrap_or(0);
+            std::thread::sleep(backoff_wait(worst, rounds, self.max_backoff));
+            let mut wire = Vec::new();
+            for &(slot, _) in &rate_limited {
+                let id = self.fresh_id();
+                pending.push((id, slot));
+                wire.extend_from_slice(&encode(&requests[slot].clone().with_id(id)));
+            }
+            self.stream.write_all(&wire)?;
+        }
+        // lint:allow(no-unwrap) — invariant: the loop exits only once every slot is filled
+        Ok(slots.into_iter().map(|s| s.expect("all slots answered")).collect())
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Reads responses until the one answering id `want` arrives. Id-tagged
+    /// responses for other (abandoned) ids are discarded; an id-less
+    /// response is trusted as the in-order answer — unless the connection
+    /// is poisoned, in which case it is unattributable.
+    fn read_matching(&mut self, want: u64) -> Result<ReachResponse, ClientError> {
+        loop {
+            let (id, response) = self.read_response()?;
+            match id {
+                Some(got) if got == want => return Ok(response),
+                Some(_) => continue,
+                None => {
+                    if self.desynced {
+                        return Err(ClientError::Desynchronized);
+                    }
+                    return Ok(response);
+                }
+            }
+        }
+    }
+
+    fn read_response(&mut self) -> Result<(Option<u64>, ReachResponse), ClientError> {
         let mut buf = [0u8; 4096];
         loop {
             if let Some(frame) = self.codec.next_frame()? {
-                return Ok(decode(&frame)?);
+                return Ok(decode_response_frame(&frame)?);
             }
-            let n = self.stream.read(&mut buf)?;
+            let n = match self.stream.read(&mut buf) {
+                Ok(n) => n,
+                Err(e) => {
+                    // The request this read served is being abandoned, but
+                    // its response may still arrive (whole or partially
+                    // buffered) and would otherwise be matched to the
+                    // *next* request. The buffered bytes stay (a partial
+                    // frame's tail still completes it); the poison flag
+                    // makes any future id-less response an error instead
+                    // of a silent mismatch. Id-echoing servers need no
+                    // poison — stale ids are discarded above.
+                    self.desynced = true;
+                    return Err(ClientError::Io(e));
+                }
+            };
             if n == 0 {
                 return Err(ClientError::Disconnected);
             }
@@ -268,13 +499,37 @@ fn unexpected(response: ReachResponse) -> ClientError {
         ReachResponse::Stats { .. } => "stats",
         ReachResponse::StatsSnapshot { .. } => "stats_snapshot",
         ReachResponse::SampledReach { .. } => "sampled_reach",
+        ReachResponse::ShardPartials { .. } => "shard_partials",
     })
 }
 
 #[cfg(test)]
 mod tests {
-    // Client behaviour is covered end-to-end (against a live server over
-    // loopback, including a misbehaving raw-TCP server for the BadFrame
-    // path) in the crate's integration tests; unit tests here would need a
-    // socket anyway.
+    // Client transport behaviour is covered end-to-end (against a live
+    // server over loopback, including misbehaving raw-TCP servers for the
+    // BadFrame and desynchronization paths) in the crate's integration
+    // tests. The backoff policy is pure, so its boundary lives here.
+    use super::*;
+
+    #[test]
+    fn default_backoff_ceiling_honours_every_server_suggestion() {
+        // Regression: the default cap used to be 2s, silently truncating a
+        // server-priced 60s wait and burning all 8 retries in ~16s.
+        assert_eq!(DEFAULT_MAX_BACKOFF, MAX_RETRY_BACKOFF);
+        let suggested = MAX_RETRY_BACKOFF.as_millis() as u64;
+        let wait = backoff_wait(suggested, 1, DEFAULT_MAX_BACKOFF);
+        assert_eq!(wait, MAX_RETRY_BACKOFF, "the largest priced wait is honoured in full");
+    }
+
+    #[test]
+    fn backoff_wait_boundary() {
+        // Under the cap: suggestion + margin passes through.
+        assert_eq!(backoff_wait(100, 3, DEFAULT_MAX_BACKOFF), Duration::from_millis(106));
+        // At and above the cap: clamped, including overflow-safe inputs.
+        assert_eq!(backoff_wait(u64::MAX, 8, DEFAULT_MAX_BACKOFF), DEFAULT_MAX_BACKOFF);
+        let tight = Duration::from_millis(50);
+        assert_eq!(backoff_wait(49, 0, tight), Duration::from_millis(49));
+        assert_eq!(backoff_wait(50, 0, tight), tight);
+        assert_eq!(backoff_wait(51, 0, tight), tight);
+    }
 }

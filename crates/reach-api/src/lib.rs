@@ -15,7 +15,11 @@
 //!   shared [`fbsim_population::World`], applying the reporting floor
 //!   server-side and throttling each connection with a token bucket.
 //! * [`client`] — a blocking client with exponential backoff on
-//!   rate-limit responses.
+//!   rate-limit responses and a [`ReachClient::pipeline`] batch API that
+//!   writes N id-tagged frames before reading N responses.
+//! * [`router`] — the sharded-deployment front-end: fans a query out to N
+//!   shard backends and folds their per-chunk partials in ascending chunk
+//!   order, so merged answers are bit-identical to a single node.
 //!
 //! The server is instrumented through `uof-telemetry`: per-opcode request
 //! counters and latency histograms plus an in-flight gauge, recorded into
@@ -35,8 +39,10 @@
 
 pub mod client;
 pub mod proto;
+pub mod router;
 pub mod server;
 
-pub use client::{ClientError, ClientReach, ReachClient};
+pub use client::{ClientError, ClientReach, ReachClient, ShardPartials, DEFAULT_MAX_BACKOFF};
 pub use proto::{ReachPoint, ReachRequest, ReachResponse};
-pub use server::{RateLimitConfig, ReachServer, ServerConfig};
+pub use router::{ReachRouter, RouterConfig};
+pub use server::{RateLimitConfig, ReachServer, ServerConfig, MAX_RETRY_BACKOFF};

@@ -55,6 +55,23 @@ pub struct ReachRequest {
     /// pre-`sampled` frames remain valid.
     #[serde(default)]
     pub sampled: Option<bool>,
+    /// Pipelining extension: a client-chosen request id. A server that
+    /// understands ids echoes the id in the response frame (see
+    /// [`encode_response_frame`]); responses to id-less requests carry no
+    /// id. Absent on v1 frames — they still decode (`None`) and are
+    /// answered in arrival order, so pre-pipelining clients and servers
+    /// interoperate both ways.
+    #[serde(default)]
+    pub id: Option<u64>,
+    /// Sharding extension: `Some(true)` asks a shard-configured backend for
+    /// its raw per-chunk partial accumulators via
+    /// [`ReachResponse::ShardPartials`] instead of a floored report. Only
+    /// the router speaks this opcode; a server **not** running as a shard
+    /// refuses it, because partials expose sub-floor audience values that
+    /// the reporting floor deliberately hides (the floor is applied once,
+    /// at the router, after the merge).
+    #[serde(default)]
+    pub shard: Option<bool>,
 }
 
 impl ReachRequest {
@@ -68,6 +85,8 @@ impl ReachRequest {
             stats: None,
             snapshot: None,
             sampled: None,
+            id: None,
+            shard: None,
         }
     }
 
@@ -81,6 +100,8 @@ impl ReachRequest {
             stats: None,
             snapshot: None,
             sampled: None,
+            id: None,
+            shard: None,
         }
     }
 
@@ -94,6 +115,8 @@ impl ReachRequest {
             stats: Some(true),
             snapshot: None,
             sampled: None,
+            id: None,
+            shard: None,
         }
     }
 
@@ -107,6 +130,8 @@ impl ReachRequest {
             stats: None,
             snapshot: Some(true),
             sampled: None,
+            id: None,
+            shard: None,
         }
     }
 
@@ -122,7 +147,23 @@ impl ReachRequest {
             stats: None,
             snapshot: None,
             sampled: Some(true),
+            id: None,
+            shard: None,
         }
+    }
+
+    /// Tags the request with a pipelining id (builder style).
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = Some(id);
+        self
+    }
+
+    /// Marks the request as a shard-partials fan-out query (builder style;
+    /// composes with [`ReachRequest::scalar`], [`ReachRequest::nested`],
+    /// and [`ReachRequest::sampled`]).
+    pub fn with_shard(mut self) -> Self {
+        self.shard = Some(true);
+        self
     }
 }
 
@@ -192,6 +233,24 @@ pub enum ReachResponse {
         floored: bool,
         /// Whether the "audience too narrow" advisory applies.
         too_narrow_warning: bool,
+    },
+    /// A shard backend's raw per-chunk partial accumulators, the router's
+    /// merge input. Only shard-configured servers emit this (raw values are
+    /// sub-floor; see [`ReachRequest`]'s `shard` field). Float partials ride
+    /// as `f64::to_bits` so the wire is lossless and the router's merge can
+    /// be bit-identical to a single-node fold.
+    ShardPartials {
+        /// The backend world's [`fbsim_population::World::generation`] the
+        /// partials were computed under — the router refuses to merge
+        /// partials from mismatched epochs.
+        generation: u64,
+        /// Global chunk indices this shard owns, ascending.
+        chunks: Vec<u32>,
+        /// `values[k]` holds chunk `chunks[k]`'s partials: one
+        /// `f64::to_bits` element for a scalar query, one per prefix for a
+        /// nested query, and one raw (integer) survivor count for a sampled
+        /// query.
+        values: Vec<Vec<u64>>,
     },
 }
 
@@ -290,6 +349,41 @@ pub fn encode<T: Serialize>(message: &T) -> Vec<u8> {
 /// [`FrameError::Malformed`] with the serde error text.
 pub fn decode<T: for<'de> Deserialize<'de>>(frame: &[u8]) -> Result<T, FrameError> {
     serde_json::from_slice(frame).map_err(|e| FrameError::Malformed(e.to_string()))
+}
+
+/// Probe for the optional response id: decodes any response object while
+/// ignoring every other key, so the body can be decoded separately as a
+/// plain [`ReachResponse`].
+#[derive(Deserialize)]
+struct IdProbe {
+    #[serde(default)]
+    id: Option<u64>,
+}
+
+/// Encodes a response frame, echoing the request's pipelining id when
+/// present. The id rides as an extra `"id"` key spliced into the response
+/// object — internally-tagged decoding ignores unknown keys, so pre-id
+/// clients still decode the frame, and id-less requests get byte-identical
+/// v1 frames.
+pub fn encode_response_frame(id: Option<u64>, response: &ReachResponse) -> Vec<u8> {
+    let mut line = encode(response);
+    if let Some(id) = id {
+        debug_assert_eq!(line.first(), Some(&b'{'));
+        let inject = format!("\"id\":{id},");
+        line.splice(1..1, inject.into_bytes());
+    }
+    line
+}
+
+/// Decodes a response frame into its optional echoed id and body.
+///
+/// # Errors
+///
+/// [`FrameError::Malformed`] with the serde error text.
+pub fn decode_response_frame(frame: &[u8]) -> Result<(Option<u64>, ReachResponse), FrameError> {
+    let probe: IdProbe = decode(frame)?;
+    let response: ReachResponse = decode(frame)?;
+    Ok((probe.id, response))
 }
 
 #[cfg(test)]
@@ -394,6 +488,63 @@ mod tests {
         let frame = encode(&empty);
         let back: ReachResponse = decode(&frame[..frame.len() - 1]).unwrap();
         assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn request_id_round_trips_and_absent_id_decodes_as_none() {
+        let tagged = request().with_id(42);
+        assert_eq!(tagged.id, Some(42));
+        let frame = encode(&tagged);
+        let back: ReachRequest = decode(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(back.id, Some(42));
+        // v1 frame without the id key: decodes, id is None.
+        let raw = br#"{"v":1,"locations":["US"],"interests":[0,5]}"#;
+        let request: ReachRequest = decode(raw).unwrap();
+        assert_eq!(request.id, None);
+        assert_eq!(request.shard, None);
+    }
+
+    #[test]
+    fn response_frame_id_echo_round_trips() {
+        let response =
+            ReachResponse::Reach { reported: 1_000, floored: false, too_narrow_warning: false };
+        // No id: byte-identical to the v1 encoding.
+        assert_eq!(encode_response_frame(None, &response), encode(&response));
+        // With id: both halves decode from the same frame.
+        let frame = encode_response_frame(Some(7), &response);
+        let (id, back) = decode_response_frame(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(id, Some(7));
+        assert_eq!(back, response);
+        // A pre-id decoder ignores the spliced key entirely.
+        let old: ReachResponse = decode(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(old, response);
+        // And an id-less v1 frame decodes with id None.
+        let v1 = encode(&response);
+        let (id, back) = decode_response_frame(&v1[..v1.len() - 1]).unwrap();
+        assert_eq!(id, None);
+        assert_eq!(back, response);
+    }
+
+    #[test]
+    fn shard_partials_round_trip() {
+        let response = ReachResponse::ShardPartials {
+            generation: 3,
+            chunks: vec![0, 2, 5],
+            values: vec![
+                vec![1.5f64.to_bits()],
+                vec![0.0f64.to_bits()],
+                vec![123.456f64.to_bits()],
+            ],
+        };
+        let frame = encode_response_frame(Some(9), &response);
+        let (id, back) = decode_response_frame(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(id, Some(9));
+        assert_eq!(back, response);
+        let shard_request = ReachRequest::scalar(vec!["US".into()], vec![1]).with_shard();
+        assert_eq!(shard_request.shard, Some(true));
+        let frame = encode(&shard_request);
+        let back: ReachRequest = decode(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(back, shard_request);
     }
 
     #[test]

@@ -1,0 +1,540 @@
+//! The router/aggregator front-end for a sharded reach deployment.
+//!
+//! N backend [`crate::server::ReachServer`]s each run with a
+//! [`ShardSpec`] and own the panel chunks the deterministic
+//! [`ShardAssignment`] gives them. The router speaks the same wire
+//! protocol as a single-node server: a client's scalar, nested, or sampled
+//! query fans out to every backend as a `shard`-flagged request, the raw
+//! per-chunk partials come back, and the router folds them **in ascending
+//! global chunk order from zero** — the same reduction the single-node
+//! engine performs — so the merged answer is bit-identical to a one-process
+//! deployment, floors included (the reporting floor is applied once, here,
+//! after the merge; backends never emit floored values on the shard
+//! opcode).
+//!
+//! Epoch coherence rides the same [`World::generation`] counter as the
+//! reach-cache and the posting-list index: every partial is stamped with
+//! the generation it was computed under, and the router refuses to merge a
+//! set whose stamps disagree with each other or with its own world — a
+//! backend serving a stale model answers loudly, not wrongly.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fbsim_adplatform::reach::{AdsManagerApi, ReportingEra};
+use fbsim_adplatform::targeting::TargetingSpec;
+use fbsim_population::countries::CountryCode;
+use fbsim_population::reach::CountryFilter;
+use fbsim_population::{InterestId, World, CHUNK_USERS};
+use parking_lot::Mutex;
+use reach_cache::key::canonical_interests;
+use uof_telemetry::{Telemetry, TelemetryConfig};
+
+use crate::client::{ClientError, ReachClient, ShardPartials};
+use crate::proto::{
+    decode, encode, encode_response_frame, FrameCodec, ReachPoint, ReachRequest, ReachResponse,
+    PROTOCOL_VERSION,
+};
+use crate::server::{opcode_names, RateLimitConfig, TokenBucket};
+
+#[cfg(doc)]
+use fbsim_population::shard::{ShardAssignment, ShardSpec};
+
+/// Router configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterConfig {
+    /// Reporting era (controls the floor, applied post-merge).
+    pub era: ReportingEra,
+    /// Per-connection rate limit on the client-facing side.
+    pub rate_limit: RateLimitConfig,
+    /// Telemetry domain; `None` records into the process global (see
+    /// [`crate::server::ServerConfig::telemetry`]).
+    pub telemetry: Option<TelemetryConfig>,
+    /// Client-facing socket write timeout (see
+    /// [`crate::server::ServerConfig::write_timeout`]).
+    pub write_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            era: ReportingEra::Early2017,
+            rate_limit: RateLimitConfig::default(),
+            telemetry: None,
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A running router front-end.
+pub struct ReachRouter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    requests_served: Arc<AtomicU64>,
+    handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+impl ReachRouter {
+    /// Starts the router on `127.0.0.1` with an OS-assigned port, fronting
+    /// the given backend addresses. The router's `world` must be generated
+    /// from the **same config** as the backends' (the shard assignment and
+    /// the merge order are derived from it).
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::ErrorKind::InvalidInput`] when the rate-limit config is
+    /// unusable or `backends` is empty; otherwise propagates bind errors.
+    pub fn start(
+        world: Arc<World>,
+        backends: Vec<SocketAddr>,
+        config: RouterConfig,
+    ) -> std::io::Result<Self> {
+        config
+            .rate_limit
+            .validate()
+            .map_err(|m| std::io::Error::new(std::io::ErrorKind::InvalidInput, m))?;
+        if backends.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "router needs at least one backend",
+            ));
+        }
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let requests_served = Arc::new(AtomicU64::new(0));
+        let telemetry = config.telemetry.as_ref().map(|cfg| Arc::new(Telemetry::new(cfg)));
+        let handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let accept_stop = Arc::clone(&stop);
+        let accept_served = Arc::clone(&requests_served);
+        let accept_handles = Arc::clone(&handles);
+        let accept_telemetry = telemetry.clone();
+        let accept_thread = std::thread::spawn(move || {
+            while !accept_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let world = Arc::clone(&world);
+                        let stop = Arc::clone(&accept_stop);
+                        let served = Arc::clone(&accept_served);
+                        let backends = backends.clone();
+                        let config = config.clone();
+                        let telemetry = accept_telemetry.clone();
+                        let handle = std::thread::spawn(move || {
+                            let telemetry =
+                                telemetry.as_deref().unwrap_or_else(|| uof_telemetry::global());
+                            let _ = handle_connection(
+                                stream, &world, &backends, telemetry, &config, &stop, &served,
+                            );
+                        });
+                        let mut handles = accept_handles.lock();
+                        let (done, live): (Vec<_>, Vec<_>) =
+                            handles.drain(..).partition(|h| h.is_finished());
+                        *handles = live;
+                        drop(handles);
+                        for finished in done {
+                            let _ = finished.join();
+                        }
+                        accept_handles.lock().push(handle);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for handle in accept_handles.lock().drain(..) {
+                let _ = handle.join();
+            }
+        });
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            requests_served,
+            handles,
+            telemetry,
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests successfully served (merged) so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Number of connection-thread handles currently tracked (see
+    /// [`crate::server::ReachServer::connection_handles`]).
+    pub fn connection_handles(&self) -> usize {
+        self.handles.lock().len()
+    }
+
+    /// The telemetry domain this router records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.telemetry.as_deref().unwrap_or_else(|| uof_telemetry::global())
+    }
+
+    /// Stops accepting and joins the accept thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReachRouter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ReachRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReachRouter")
+            .field("addr", &self.addr)
+            .field("requests_served", &self.requests_served())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Serves one client connection: dials every backend once, then routes
+/// frames until EOF, error, or shutdown. Same pipelined drain-and-batch
+/// loop as the single-node server.
+fn handle_connection(
+    mut stream: TcpStream,
+    world: &World,
+    backends: &[SocketAddr],
+    telemetry: &Telemetry,
+    config: &RouterConfig,
+    stop: &AtomicBool,
+    served: &AtomicU64,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    // See the server: Nagle would stall each response batch behind the
+    // peer's delayed ACK.
+    stream.set_nodelay(true)?;
+    let api = AdsManagerApi::new(world, config.era);
+    // One backend connection set per client connection: fan-outs from
+    // different clients never interleave on a backend socket.
+    let mut clients: Option<Vec<ReachClient>> =
+        backends.iter().map(|&addr| ReachClient::connect(addr)).collect::<Result<Vec<_>, _>>().ok();
+    let mut codec = FrameCodec::new();
+    let mut bucket = TokenBucket::new(config.rate_limit);
+    let mut buf = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Ok(()),
+            Ok(n) => codec.feed(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let mut out: Vec<u8> = Vec::new();
+        let mut oversized = false;
+        loop {
+            let frame = match codec.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(_) => {
+                    telemetry.count("reach.requests.oversized", 1);
+                    out.extend_from_slice(&encode(&ReachResponse::Error {
+                        message: "frame too large".into(),
+                    }));
+                    oversized = true;
+                    break;
+                }
+            };
+            let (id, response) = match decode::<ReachRequest>(&frame) {
+                Err(e) => {
+                    telemetry.count("reach.requests.error", 1);
+                    (None, ReachResponse::Error { message: e.to_string() })
+                }
+                Ok(request) => {
+                    let response = match bucket.try_take() {
+                        Err(wait) => {
+                            telemetry.count("reach.requests.rate_limited", 1);
+                            ReachResponse::RateLimited {
+                                retry_after_ms: wait.as_millis().max(1) as u64,
+                            }
+                        }
+                        Ok(()) => {
+                            let r = route_instrumented(&api, clients.as_mut(), telemetry, &request);
+                            if !matches!(
+                                r,
+                                ReachResponse::Error { .. } | ReachResponse::RateLimited { .. }
+                            ) {
+                                served.fetch_add(1, Ordering::Relaxed);
+                            }
+                            r
+                        }
+                    };
+                    (request.id, response)
+                }
+            };
+            out.extend_from_slice(&encode_response_frame(id, &response));
+        }
+        if !out.is_empty() {
+            match stream.write_all(&out) {
+                Ok(()) => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    telemetry.count("reach.connections.write_timeout", 1);
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if oversized {
+            return Ok(());
+        }
+    }
+}
+
+/// Wraps [`route`] in the same per-opcode telemetry shape as the
+/// single-node server, so one dashboard reads both tiers.
+fn route_instrumented(
+    api: &AdsManagerApi<'_>,
+    clients: Option<&mut Vec<ReachClient>>,
+    telemetry: &Telemetry,
+    request: &ReachRequest,
+) -> ReachResponse {
+    if !telemetry.is_enabled() {
+        return route(api, clients, telemetry, request);
+    }
+    let (counter, span_name) = opcode_names(request);
+    telemetry.registry().counter(counter).incr();
+    let in_flight = telemetry.registry().gauge("reach.requests.in_flight");
+    in_flight.incr();
+    let response = {
+        let _span = telemetry
+            .span(span_name)
+            .field("locations", request.locations.len().into())
+            .field("interests", request.interests.len().into())
+            .start();
+        route(api, clients, telemetry, request)
+    };
+    in_flight.decr();
+    if matches!(response, ReachResponse::Error { .. }) {
+        telemetry.registry().counter("reach.requests.error").incr();
+    }
+    response
+}
+
+/// Validates a request, fans it out, and merges the partials.
+fn route(
+    api: &AdsManagerApi<'_>,
+    clients: Option<&mut Vec<ReachClient>>,
+    telemetry: &Telemetry,
+    request: &ReachRequest,
+) -> ReachResponse {
+    if request.v != PROTOCOL_VERSION {
+        return ReachResponse::Error {
+            message: format!("unsupported protocol version {}", request.v),
+        };
+    }
+    if request.snapshot == Some(true) {
+        // The router's own registry: fan-out spans, merge counters, and the
+        // client-facing request mix. Backend registries are one
+        // `stats_snapshot` probe away on their own addresses.
+        return ReachResponse::StatsSnapshot { registry: telemetry.snapshot() };
+    }
+    if request.stats == Some(true) {
+        return ReachResponse::Error {
+            message: "the router keeps no query cache; probe a backend for stats".into(),
+        };
+    }
+    if request.shard == Some(true) {
+        return ReachResponse::Error {
+            message: "the router is not a shard backend; send scalar/nested/sampled".into(),
+        };
+    }
+    let nested = request.nested == Some(true);
+    let sampled = request.sampled == Some(true);
+    if nested && sampled {
+        return ReachResponse::Error {
+            message: "nested and sampled are mutually exclusive".into(),
+        };
+    }
+    // Mirror the single-node validation exactly, so the router rejects
+    // precisely what a single node would reject — before any backend burns
+    // a fan-out on it.
+    let mut builder = TargetingSpec::builder();
+    for code in &request.locations {
+        let bytes = code.as_bytes();
+        if bytes.len() != 2 || !bytes.iter().all(u8::is_ascii_uppercase) {
+            return ReachResponse::Error { message: format!("bad country code {code:?}") };
+        }
+        builder = builder.location(CountryCode([bytes[0], bytes[1]]));
+    }
+    let interests: Vec<u32> =
+        if nested { request.interests.clone() } else { canonical_interests(&request.interests) };
+    builder = builder.interests(interests.iter().map(|&i| InterestId(i)));
+    let spec = match builder.build() {
+        Ok(spec) => spec,
+        Err(e) => return ReachResponse::Error { message: e.to_string() },
+    };
+    for &id in spec.interests() {
+        if api.world().catalog().get(id).is_none() {
+            return ReachResponse::Error { message: format!("unknown interest {}", id.0) };
+        }
+    }
+    if let Err(i) = CountryFilter::checked_of(&spec.location_indices()) {
+        return ReachResponse::Error {
+            message: format!("country index {i} outside the 50-country universe"),
+        };
+    }
+    let Some(clients) = clients else {
+        return ReachResponse::Error { message: "router has no live backend connections".into() };
+    };
+    match fan_out_and_merge(api, clients, request, nested, sampled) {
+        Ok(response) => response,
+        Err(RouteError::Backend(e)) => {
+            ReachResponse::Error { message: format!("backend error: {e}") }
+        }
+        Err(RouteError::Merge(message)) => ReachResponse::Error { message },
+    }
+}
+
+enum RouteError {
+    Backend(ClientError),
+    Merge(String),
+}
+
+impl From<ClientError> for RouteError {
+    fn from(e: ClientError) -> Self {
+        RouteError::Backend(e)
+    }
+}
+
+/// Fans the query out to every backend (writes first, then collects, so
+/// backends compute concurrently) and folds the partials in ascending
+/// global chunk order — the single-node reduction, reproduced.
+fn fan_out_and_merge(
+    api: &AdsManagerApi<'_>,
+    clients: &mut [ReachClient],
+    request: &ReachRequest,
+    nested: bool,
+    sampled: bool,
+) -> Result<ReachResponse, RouteError> {
+    let shard_request = ReachRequest { id: None, ..request.clone() }.with_shard();
+    let mut ids = Vec::with_capacity(clients.len());
+    for client in clients.iter_mut() {
+        ids.push(client.send(&shard_request)?);
+    }
+    let mut partials: Vec<ShardPartials> = Vec::with_capacity(clients.len());
+    for (client, id) in clients.iter_mut().zip(ids) {
+        match client.receive(&shard_request, id)? {
+            ReachResponse::ShardPartials { generation, chunks, values } => {
+                partials.push(ShardPartials { generation, chunks, values });
+            }
+            _ => {
+                return Err(RouteError::Merge(
+                    "backend answered the shard opcode with a non-partials response".into(),
+                ))
+            }
+        }
+    }
+    // Epoch coherence: every stamp must agree with the router's world.
+    let want_generation = api.world().generation();
+    for p in &partials {
+        if p.generation != want_generation {
+            return Err(RouteError::Merge(format!(
+                "shard epoch mismatch: backend at generation {}, router at {want_generation}",
+                p.generation
+            )));
+        }
+    }
+    // Coverage: the union of shard chunk sets must be exactly one of each
+    // global chunk.
+    let nchunks = api.world().panel().len().div_ceil(CHUNK_USERS);
+    let mut merged: Vec<(u32, Vec<u64>)> = Vec::with_capacity(nchunks);
+    for p in partials {
+        if p.chunks.len() != p.values.len() {
+            return Err(RouteError::Merge("shard partials chunk/value length mismatch".into()));
+        }
+        merged.extend(p.chunks.into_iter().zip(p.values));
+    }
+    merged.sort_unstable_by_key(|&(c, _)| c);
+    if merged.len() != nchunks
+        || merged.iter().enumerate().any(|(want, &(got, _))| got as usize != want)
+    {
+        return Err(RouteError::Merge(format!(
+            "shard chunk coverage broken: got {} chunks of {nchunks}",
+            merged.len()
+        )));
+    }
+    let scale = api.world().panel().scale();
+    if sampled {
+        let mut total: u64 = 0;
+        for (_, values) in &merged {
+            match values.as_slice() {
+                [count] => total += count,
+                _ => return Err(RouteError::Merge("sampled partial is not one count".into())),
+            }
+        }
+        let point = api.report_potential(total as f64 * scale);
+        return Ok(ReachResponse::SampledReach {
+            reported: point.reported,
+            floored: point.floored,
+            too_narrow_warning: point.too_narrow_warning,
+        });
+    }
+    if nested {
+        let prefixes = request.interests.len();
+        let mut sums = vec![0.0f64; prefixes];
+        for (_, values) in &merged {
+            if values.len() != prefixes {
+                return Err(RouteError::Merge("nested partial width mismatch".into()));
+            }
+            for (slot, &bits) in sums.iter_mut().zip(values) {
+                *slot += f64::from_bits(bits);
+            }
+        }
+        let reaches = sums
+            .into_iter()
+            .map(|s| {
+                let point = api.report_potential(s * scale);
+                ReachPoint {
+                    reported: point.reported,
+                    floored: point.floored,
+                    too_narrow_warning: point.too_narrow_warning,
+                }
+            })
+            .collect();
+        return Ok(ReachResponse::Nested { reaches });
+    }
+    let mut sum = 0.0f64;
+    for (_, values) in &merged {
+        match values.as_slice() {
+            [bits] => sum += f64::from_bits(*bits),
+            _ => return Err(RouteError::Merge("scalar partial is not one value".into())),
+        }
+    }
+    let point = api.report_potential(sum * scale);
+    Ok(ReachResponse::Reach {
+        reported: point.reported,
+        floored: point.floored,
+        too_narrow_warning: point.too_narrow_warning,
+    })
+}

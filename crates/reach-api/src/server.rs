@@ -17,13 +17,15 @@ use fbsim_adplatform::targeting::TargetingSpec;
 use fbsim_population::countries::CountryCode;
 use fbsim_population::index::{IndexConfig, ReachIndex};
 use fbsim_population::reach::CountryFilter;
+use fbsim_population::shard::{ShardAssignment, ShardSpec};
 use fbsim_population::{InterestId, World};
 use parking_lot::Mutex;
 use reach_cache::{key::canonical_interests, CacheConfig, CacheStats, ReachCache};
 use uof_telemetry::{Telemetry, TelemetryConfig};
 
 use crate::proto::{
-    decode, encode, FrameCodec, ReachPoint, ReachRequest, ReachResponse, PROTOCOL_VERSION,
+    decode, encode, encode_response_frame, FrameCodec, ReachPoint, ReachRequest, ReachResponse,
+    PROTOCOL_VERSION,
 };
 
 /// Token-bucket rate-limit settings (per connection).
@@ -44,8 +46,10 @@ impl Default for RateLimitConfig {
 /// Longest retry backoff a [`TokenBucket`] will ever suggest. Also the wait
 /// reported if a non-positive refill rate slips past validation — without
 /// this clamp `deficit / 0.0 = inf` and `Duration::from_secs_f64` panics in
-/// the connection thread.
-const MAX_RETRY_BACKOFF: Duration = Duration::from_secs(60);
+/// the connection thread. Public because the client's default backoff
+/// ceiling is defined as this value: every wait the server can suggest is
+/// one the default client honours.
+pub const MAX_RETRY_BACKOFF: Duration = Duration::from_secs(60);
 
 impl RateLimitConfig {
     /// Checks the config can actually admit requests: both fields must be
@@ -96,6 +100,18 @@ pub struct ServerConfig {
     /// requests get [`ReachResponse::Error`]. The float engine remains the
     /// oracle for every other opcode either way.
     pub index: IndexConfig,
+    /// Socket write timeout per response batch. A client that stops
+    /// reading fills the TCP window; without this bound `write_all` wedges
+    /// the connection thread forever and shutdown hangs joining it. A
+    /// timed-out write is treated as a disconnect.
+    pub write_timeout: Duration,
+    /// `Some(spec)`: run as shard `spec.index` of `spec.count` — the
+    /// server answers `shard`-flagged requests with its raw per-chunk
+    /// partials ([`ReachResponse::ShardPartials`]) over the chunks the
+    /// deterministic [`ShardAssignment`] gives it. `None` (the default):
+    /// single-node mode; the shard opcode is refused, because raw partials
+    /// expose sub-floor audiences the reporting floor hides.
+    pub shard: Option<ShardSpec>,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +122,8 @@ impl Default for ServerConfig {
             cache: CacheConfig::from_env(),
             telemetry: None,
             index: IndexConfig::from_env(),
+            write_timeout: Duration::from_secs(5),
+            shard: None,
         }
     }
 }
@@ -142,22 +160,44 @@ impl SampledIndex {
         }
         slot.as_ref().and_then(|index| index.conjunction_count(ids, filter))
     }
+
+    /// Per-block conjunction counts over `blocks`, with the same lazy
+    /// build/extend/epoch discipline as [`SampledIndex::count`].
+    fn count_in_blocks(
+        &self,
+        world: &World,
+        ids: &[InterestId],
+        filter: CountryFilter,
+        blocks: &[usize],
+    ) -> Option<Vec<u64>> {
+        let mut slot = self.slot.lock();
+        let rebuild = match slot.as_ref() {
+            Some(index) => !index.is_current(world),
+            None => true,
+        };
+        if rebuild {
+            *slot = Some(ReachIndex::build_for(world, ids));
+        } else if let Some(index) = slot.as_mut() {
+            index.extend_for(world, ids);
+        }
+        slot.as_ref().and_then(|index| index.conjunction_count_in_blocks(ids, filter, blocks))
+    }
 }
 
-/// A token bucket.
-struct TokenBucket {
+/// A token bucket (shared with the router's client-facing side).
+pub(crate) struct TokenBucket {
     tokens: f64,
     last_refill: Instant,
     config: RateLimitConfig,
 }
 
 impl TokenBucket {
-    fn new(config: RateLimitConfig) -> Self {
+    pub(crate) fn new(config: RateLimitConfig) -> Self {
         Self { tokens: config.capacity, last_refill: Instant::now(), config }
     }
 
     /// Tries to take one token; on failure returns the suggested wait.
-    fn try_take(&mut self) -> Result<(), Duration> {
+    pub(crate) fn try_take(&mut self) -> Result<(), Duration> {
         let now = Instant::now();
         let elapsed = now.duration_since(self.last_refill).as_secs_f64();
         self.last_refill = now;
@@ -188,6 +228,9 @@ pub struct ReachServer {
     accept_thread: Option<std::thread::JoinHandle<()>>,
     requests_served: Arc<AtomicU64>,
     cache: Arc<ReachCache>,
+    /// Live connection-thread handles (finished ones are reaped on each
+    /// accept; the remainder drains at shutdown).
+    handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
     /// `Some` when the config pinned a private telemetry domain; `None`
     /// means the process-global instance.
     telemetry: Option<Arc<Telemetry>>,
@@ -211,6 +254,11 @@ impl ReachServer {
             .cache
             .validate()
             .map_err(|m| std::io::Error::new(std::io::ErrorKind::InvalidInput, m))?;
+        if let Some(shard) = &config.shard {
+            shard
+                .validate()
+                .map_err(|m| std::io::Error::new(std::io::ErrorKind::InvalidInput, m))?;
+        }
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -250,6 +298,19 @@ impl ReachServer {
                                 stream, &world, &cache, &index, telemetry, &config, &stop, &served,
                             );
                         });
+                        // Opportunistic reap: joining only *finished*
+                        // threads is non-blocking, and it bounds the vector
+                        // by the number of **live** connections instead of
+                        // connections ever accepted (which leaked one
+                        // handle per connection for the server's lifetime).
+                        let mut handles = accept_handles.lock();
+                        let (done, live): (Vec<_>, Vec<_>) =
+                            handles.drain(..).partition(|h| h.is_finished());
+                        *handles = live;
+                        drop(handles);
+                        for finished in done {
+                            let _ = finished.join();
+                        }
                         accept_handles.lock().push(handle);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -269,6 +330,7 @@ impl ReachServer {
             accept_thread: Some(accept_thread),
             requests_served,
             cache,
+            handles,
             telemetry,
         })
     }
@@ -281,6 +343,14 @@ impl ReachServer {
     /// Requests successfully served so far.
     pub fn requests_served(&self) -> u64 {
         self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Number of connection-thread handles currently tracked. Bounded by
+    /// the number of live connections (plus at most the churn since the
+    /// last accept, which triggers the reap) — the observability hook the
+    /// handle-leak regression test asserts on.
+    pub fn connection_handles(&self) -> usize {
+        self.handles.lock().len()
     }
 
     /// The shared query cache (in-process observability; remote clients use
@@ -334,6 +404,14 @@ fn handle_connection(
     served: &AtomicU64,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    // A bounded write: a client that stops reading (full TCP window) used
+    // to wedge `write_all` forever, and shutdown then hung joining this
+    // thread. A timed-out write is a disconnect, handled below.
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    // Pipelined responses go out as back-to-back batches; with Nagle on,
+    // every batch after the first stalls behind the peer's delayed ACK
+    // (~40ms), making pipelining *slower* than one request per round trip.
+    stream.set_nodelay(true)?;
     let api = AdsManagerApi::new(world, config.era);
     let mut codec = FrameCodec::new();
     let mut bucket = TokenBucket::new(config.rate_limit);
@@ -353,51 +431,85 @@ fn handle_connection(
             }
             Err(e) => return Err(e),
         }
+        // Drain every complete frame this read delivered before touching
+        // the socket again — the server half of pipelining. Responses are
+        // batched into one write so N pipelined requests cost one syscall
+        // and one TCP segment train, not N.
+        let mut out: Vec<u8> = Vec::new();
+        let mut oversized = false;
         loop {
             let frame = match codec.next_frame() {
                 Ok(Some(frame)) => frame,
                 Ok(None) => break,
                 Err(_) => {
-                    // Oversized frame: tell the client and drop them.
+                    // Oversized frame: tell the client and drop them (after
+                    // flushing answers to the frames before it).
                     telemetry.count("reach.requests.oversized", 1);
-                    let _ = stream.write_all(&encode(&ReachResponse::Error {
+                    out.extend_from_slice(&encode(&ReachResponse::Error {
                         message: "frame too large".into(),
                     }));
+                    oversized = true;
+                    break;
+                }
+            };
+            let (id, response) = match decode::<ReachRequest>(&frame) {
+                Err(e) => {
+                    telemetry.count("reach.requests.error", 1);
+                    (None, ReachResponse::Error { message: e.to_string() })
+                }
+                Ok(request) => {
+                    let response = match bucket.try_take() {
+                        Err(wait) => {
+                            telemetry.count("reach.requests.rate_limited", 1);
+                            ReachResponse::RateLimited {
+                                retry_after_ms: wait.as_millis().max(1) as u64,
+                            }
+                        }
+                        Ok(()) => {
+                            let r = answer_instrumented(
+                                &api, cache, index, config, telemetry, &request,
+                            );
+                            if !matches!(
+                                r,
+                                ReachResponse::Error { .. } | ReachResponse::RateLimited { .. }
+                            ) {
+                                served.fetch_add(1, Ordering::Relaxed);
+                            }
+                            r
+                        }
+                    };
+                    (request.id, response)
+                }
+            };
+            out.extend_from_slice(&encode_response_frame(id, &response));
+        }
+        if !out.is_empty() {
+            match stream.write_all(&out) {
+                Ok(()) => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // The client is not reading; treat as a disconnect so
+                    // the thread (and shutdown) cannot hang on its window.
+                    telemetry.count("reach.connections.write_timeout", 1);
                     return Ok(());
                 }
-            };
-            let response = match bucket.try_take() {
-                Err(wait) => {
-                    telemetry.count("reach.requests.rate_limited", 1);
-                    ReachResponse::RateLimited { retry_after_ms: wait.as_millis().max(1) as u64 }
-                }
-                Ok(()) => match decode::<ReachRequest>(&frame) {
-                    Err(e) => {
-                        telemetry.count("reach.requests.error", 1);
-                        ReachResponse::Error { message: e.to_string() }
-                    }
-                    Ok(request) => {
-                        let r =
-                            answer_instrumented(&api, cache, index, config, telemetry, &request);
-                        if !matches!(
-                            r,
-                            ReachResponse::Error { .. } | ReachResponse::RateLimited { .. }
-                        ) {
-                            served.fetch_add(1, Ordering::Relaxed);
-                        }
-                        r
-                    }
-                },
-            };
-            stream.write_all(&encode(&response))?;
+                Err(e) => return Err(e),
+            }
+        }
+        if oversized {
+            return Ok(());
         }
     }
 }
 
 /// Per-opcode metric names: `(counter, latency-span)` pairs. The span name
 /// doubles as the histogram name the duration lands in.
-fn opcode_names(request: &ReachRequest) -> (&'static str, &'static str) {
-    if request.snapshot == Some(true) {
+pub(crate) fn opcode_names(request: &ReachRequest) -> (&'static str, &'static str) {
+    if request.shard == Some(true) {
+        ("reach.requests.shard", "reach.request.shard")
+    } else if request.snapshot == Some(true) {
         ("reach.requests.snapshot", "reach.request.snapshot")
     } else if request.stats == Some(true) {
         ("reach.requests.stats", "reach.request.stats")
@@ -558,6 +670,49 @@ fn answer(
             }
         }
     };
+    if request.shard == Some(true) {
+        // Raw per-chunk partials for the router's merge. Refused outside
+        // shard mode: partials are pre-floor values, and the reporting
+        // floor (applied once, at the router, after the merge) is the
+        // privacy contract — a single-node server must never leak them.
+        let Some(shard) = config.shard else {
+            return ReachResponse::Error {
+                message: "shard partials require a shard-configured backend".into(),
+            };
+        };
+        let assignment = ShardAssignment::new(api.world(), shard.count);
+        let chunks = assignment.chunks_of(shard.index);
+        let generation = api.world().generation();
+        let values: Vec<Vec<u64>> = if sampled {
+            match index.count_in_blocks(api.world(), spec.interests(), filter, &chunks) {
+                Some(counts) => counts.into_iter().map(|n| vec![n]).collect(),
+                None => {
+                    return ReachResponse::Error {
+                        message: "sampled shard partials unavailable for this query".into(),
+                    }
+                }
+            }
+        } else if nested {
+            api.world()
+                .reach_engine()
+                .nested_chunk_partials(spec.interests(), filter, &chunks)
+                .into_iter()
+                .map(|per_prefix| per_prefix.into_iter().map(f64::to_bits).collect())
+                .collect()
+        } else {
+            api.world()
+                .reach_engine()
+                .conjunction_chunk_partials(spec.interests(), filter, &chunks)
+                .into_iter()
+                .map(|partial| vec![partial.to_bits()])
+                .collect()
+        };
+        return ReachResponse::ShardPartials {
+            generation,
+            chunks: chunks.into_iter().map(|c| c as u32).collect(),
+            values,
+        };
+    }
     if sampled {
         // Sampled counts bypass the float engine and its cache entirely:
         // the index is its own memo (posting lists persist across queries)

@@ -1,7 +1,10 @@
 //! Property-based tests of the wire protocol.
 
 use proptest::prelude::*;
-use reach_api::proto::{decode, encode, FrameCodec, ReachRequest, ReachResponse};
+use reach_api::proto::{
+    decode, decode_response_frame, encode, encode_response_frame, FrameCodec, ReachRequest,
+    ReachResponse,
+};
 
 proptest! {
     #[test]
@@ -9,7 +12,10 @@ proptest! {
         v in 0u32..5,
         locations in prop::collection::vec("[A-Z]{2}", 0..10),
         interests in prop::collection::vec(any::<u32>(), 0..30),
+        has_id in any::<bool>(),
+        raw_id in any::<u64>(),
     ) {
+        let id = has_id.then_some(raw_id);
         let request =
             ReachRequest {
                 v,
@@ -19,6 +25,8 @@ proptest! {
                 stats: None,
                 snapshot: None,
                 sampled: None,
+                id,
+                shard: None,
             };
         let frame = encode(&request);
         let back: ReachRequest = decode(&frame[..frame.len() - 1]).unwrap();
@@ -41,6 +49,8 @@ proptest! {
                 stats: None,
                 snapshot: None,
                 sampled: None,
+                id: None,
+                shard: None,
             })
             .collect();
         for r in &originals {
@@ -62,6 +72,21 @@ proptest! {
         let response = ReachResponse::Reach { reported, floored, too_narrow_warning: warn };
         let frame = encode(&response);
         let back: ReachResponse = decode(&frame[..frame.len() - 1]).unwrap();
+        prop_assert_eq!(back, response);
+    }
+
+    #[test]
+    fn response_frames_round_trip_any_id(
+        reported in any::<u64>(),
+        has_id in any::<bool>(),
+        raw_id in any::<u64>(),
+    ) {
+        let id = has_id.then_some(raw_id);
+        let response =
+            ReachResponse::Reach { reported, floored: false, too_narrow_warning: false };
+        let frame = encode_response_frame(id, &response);
+        let (got_id, back) = decode_response_frame(&frame[..frame.len() - 1]).unwrap();
+        prop_assert_eq!(got_id, id);
         prop_assert_eq!(back, response);
     }
 

@@ -52,4 +52,8 @@ UOF_TELEMETRY=1 cargo test -q
 echo "==> cargo test -q (UOF_REACH_INDEX=1, posting-list index enabled)"
 UOF_REACH_INDEX=1 cargo test -q
 
+echo "==> router smoke sweep (sharded mode bit-identity, UOF_THREADS=1 and default)"
+UOF_THREADS=1 cargo test -q -p reach-api --test router
+cargo test -q -p reach-api --test router
+
 echo "==> all checks passed"
