@@ -1,12 +1,19 @@
 //! §8.3 countermeasure evaluation (extension table): replaying the
 //! 21-campaign experiment under the proposed policies, plus the
-//! custom-audience padding bypass.
+//! custom-audience padding bypass and the contention contrast — whether a
+//! competed marketplace changes which campaigns each policy blocks.
 
 use fbsim_population::MaterializedUser;
-use nanotarget::countermeasures::{evaluate_all, evaluate_custom_audience_bypass};
+use nanotarget::contention::run_contention_sweep;
+use nanotarget::countermeasures::{
+    evaluate_all, evaluate_all_under_contention, evaluate_custom_audience_bypass,
+};
 use nanotarget::{run_experiment, ExperimentConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Background campaigns for the contended replay.
+const CONTENTION_LEVEL: usize = 64;
 
 fn main() {
     let (_scale, world) = bench::build_world();
@@ -38,6 +45,37 @@ fn main() {
             if eval.blocks_all_successes() { "✓ blocks all" } else { "✗ leaks" }
         );
     }
+
+    // The same plan under a competed marketplace: the policies act at
+    // launch on inputs contention cannot touch, so the blocked set must be
+    // invariant even when contention reshuffles which campaigns succeed.
+    let sweep =
+        run_contention_sweep(&world, &refs, &config, bench::seed_from_env(), &[CONTENTION_LEVEL])
+            .expect("sweep level is valid");
+    let contended = &sweep.results[0];
+    println!(
+        "\n== Contention contrast ({CONTENTION_LEVEL} competing campaigns: \
+         {}/21 still succeed) ==",
+        contended.successes().len()
+    );
+    println!(
+        "{:<26} {:>16} {:>26} {:>14}",
+        "policy", "blocked iso/con", "successes blocked iso/con", "blocked set"
+    );
+    for c in evaluate_all_under_contention(&world, &result, contended) {
+        println!(
+            "{:<26} {:>7}/21 {:>3}/21 {:>12}/{} {:>9}/{} {:>14}",
+            c.policy,
+            c.isolated.blocked,
+            c.contended.blocked,
+            c.isolated.successes_blocked,
+            c.isolated.successes_total,
+            c.contended.successes_blocked,
+            c.contended.successes_total,
+            if c.blocked_set_changed { "CHANGED (!)" } else { "invariant ✓" },
+        );
+    }
+
     let bypass = evaluate_custom_audience_bypass();
     println!("\ncustom-audience padding bypass (99 unreachable + 1 target):");
     println!(

@@ -10,7 +10,9 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::analyze::SpecAnalyzer;
-use crate::delivery::{simulate_delivery, DeliveryModel, DeliveryReport, MatchedAudience};
+use crate::delivery::{
+    simulate_delivery_in, DeliveryModel, DeliveryReport, ImpressionMarket, MatchedAudience,
+};
 use crate::policy::{PlatformPolicy, PolicyViolation, StaticDecision};
 use crate::reach::AdsManagerApi;
 use crate::targeting::TargetingSpec;
@@ -233,6 +235,24 @@ impl<'w, P: PlatformPolicy> CampaignManager<'w, P> {
         spec: CampaignSpec,
         target_matches: bool,
     ) -> Result<CampaignId, (CampaignId, PolicyViolation)> {
+        self.launch_in_market(rng, spec, target_matches, None)
+    }
+
+    /// Launches a campaign whose impression opportunities are resolved
+    /// through a competing-demand marketplace.
+    ///
+    /// Identical to [`CampaignManager::launch`] except that delivery goes
+    /// through [`simulate_delivery_in`] with `market`; passing `None` (or
+    /// a market that reports [`crate::delivery::Contention::NONE`]) keeps
+    /// the result bit-identical to the isolated launch path — the RNG is
+    /// consumed in exactly the same order.
+    pub fn launch_in_market<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        spec: CampaignSpec,
+        target_matches: bool,
+        market: Option<&dyn ImpressionMarket>,
+    ) -> Result<CampaignId, (CampaignId, PolicyViolation)> {
         let id = CampaignId(self.campaigns.len() as u64);
         let analysis = self.analyzer.analyze_campaign(&spec);
         let preflight = self.policy.evaluate_static(&spec, &analysis);
@@ -257,12 +277,13 @@ impl<'w, P: PlatformPolicy> CampaignManager<'w, P> {
             }
         }
         let audience = MatchedAudience::realize(rng, true_reach, target_matches);
-        let report = simulate_delivery(
+        let report = simulate_delivery_in(
             &self.model,
             audience,
             &spec.schedule,
             spec.daily_budget_eur,
             rng.gen(),
+            market,
         );
         self.campaigns.push(CampaignRecord {
             spec,

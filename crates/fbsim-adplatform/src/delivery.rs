@@ -158,7 +158,73 @@ impl DeliveryReport {
     }
 }
 
-/// Simulates delivery of one campaign.
+/// How competing demand reshapes one campaign's delivery, summarised as two
+/// multiplicative factors applied to the isolated-pricing model.
+///
+/// The factors compose with the legacy model as pure multiplications —
+/// `effective_win_rate = auction_win_rate × win_rate_factor` and
+/// `effective_price = house_price × price_factor` — so
+/// [`Contention::NONE`] (both factors exactly `1.0`) leaves every
+/// downstream f64 bit-identical (`x * 1.0 == x` in IEEE-754) and the
+/// delivery RNG stream untouched. That is the zero-competition
+/// equivalence contract pinned by `tests/marketplace_equivalence.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Contention {
+    /// Fraction of otherwise-won impression opportunities the campaign
+    /// still wins under competition (in `[0, 1]`).
+    pub win_rate_factor: f64,
+    /// Average clearing price over won opportunities relative to the
+    /// isolated house price (≥ 1: competition never discounts).
+    pub price_factor: f64,
+}
+
+impl Contention {
+    /// No competing demand: both factors exactly `1.0`.
+    pub const NONE: Contention = Contention { win_rate_factor: 1.0, price_factor: 1.0 };
+
+    /// Clamps the factors into their contracts (win rate in `[0, 1]`,
+    /// price never discounted, non-finite degrades to neutral). `NONE`
+    /// maps to `NONE` bit-identically.
+    #[must_use]
+    pub fn sanitized(self) -> Contention {
+        let win = if self.win_rate_factor.is_finite() {
+            self.win_rate_factor.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let price = if self.price_factor.is_finite() { self.price_factor.max(1.0) } else { 1.0 };
+        Contention { win_rate_factor: win, price_factor: price }
+    }
+
+    /// The IEEE-754 bit pattern of `1.0f64` (pinned by test); comparing
+    /// bits rather than values keeps `-0.0`/rounding subtleties out of the
+    /// neutrality check.
+    const ONE_BITS: u64 = 0x3FF0_0000_0000_0000;
+
+    /// Whether this is exactly the neutral contention (bitwise).
+    pub fn is_none(&self) -> bool {
+        self.win_rate_factor.to_bits() == Self::ONE_BITS
+            && self.price_factor.to_bits() == Self::ONE_BITS
+    }
+}
+
+/// A source of competing demand for impression opportunities.
+///
+/// Implemented by `fbsim-marketplace::Marketplace`; the delivery simulator
+/// stays decoupled from the marketplace crate through this trait. The
+/// `seed` is derived from the campaign's delivery seed (never drawn from
+/// the delivery RNG, which would desync the legacy stream), so a market
+/// summary is deterministic per `(market, campaign)` pair and independent
+/// of thread count.
+pub trait ImpressionMarket {
+    /// Summarises competition faced by a campaign whose isolated house
+    /// price per impression is `base_price_eur` and which is willing to
+    /// pay at most `bid_cap_eur` per impression.
+    fn contention(&self, base_price_eur: f64, bid_cap_eur: f64, seed: u64) -> Contention;
+}
+
+/// Simulates delivery of one campaign priced in isolation (no competing
+/// demand). Equivalent to [`simulate_delivery_in`] with no market.
 ///
 /// `audience` is the realised matched audience, `schedule` the campaign's
 /// active windows, `daily_budget_eur` the configured daily budget and
@@ -170,6 +236,30 @@ pub fn simulate_delivery(
     schedule: &Schedule,
     daily_budget_eur: f64,
     seed: u64,
+) -> DeliveryReport {
+    simulate_delivery_in(model, audience, schedule, daily_budget_eur, seed, None)
+}
+
+/// XOR'd into the delivery seed to derive the marketplace summary seed, so
+/// the market's Monte-Carlo stream is independent of (and invisible to)
+/// the delivery RNG stream.
+const MARKET_SEED_SALT: u64 = 0xA0C7_10B5;
+
+/// Simulates delivery of one campaign, resolving impression opportunities
+/// through `market` when one is supplied.
+///
+/// With `market = None` (or a market that reports [`Contention::NONE`],
+/// e.g. a marketplace with zero background campaigns) the result is
+/// bit-identical to [`simulate_delivery`]: contention enters only as
+/// multiplications by exactly `1.0` and the market summary uses a seed
+/// derived by XOR rather than an extra RNG draw.
+pub fn simulate_delivery_in(
+    model: &DeliveryModel,
+    audience: MatchedAudience,
+    schedule: &Schedule,
+    daily_budget_eur: f64,
+    seed: u64,
+    market: Option<&dyn ImpressionMarket>,
 ) -> DeliveryReport {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xDE11_7E2C);
     let active_hours = schedule.active_hours();
@@ -204,13 +294,23 @@ pub fn simulate_delivery(
             10f64.powf(model.cpm_jitter_sigma * fbsim_stats::dist::standard_normal(&mut rng));
         (raw * jitter).clamp(model.cpm_min, model.cpm_max)
     };
-    let cost_per_impression = cpm / 1_000.0;
+    // Competing demand: ask the marketplace how often this campaign still
+    // wins an opportunity and what it pays when it does. The campaign's
+    // willingness cap is the model's CPM ceiling (the house never charges
+    // beyond `cpm_max`, so neither does a competed auction).
+    let contention = match market {
+        None => Contention::NONE,
+        Some(market) => market
+            .contention(cpm / 1_000.0, model.cpm_max / 1_000.0, seed ^ MARKET_SEED_SALT)
+            .sanitized(),
+    };
+    let win_rate = model.auction_win_rate * contention.win_rate_factor;
+    let cost_per_impression = cpm / 1_000.0 * contention.price_factor;
 
     // Supply: session-driven impression opportunities across the audience,
     // bounded by the frequency cap.
     let per_user_cap = (model.frequency_cap_per_day * active_hours / 24.0).max(1.0);
-    let per_user_supply =
-        (model.session_rate_per_hour * active_hours * model.auction_win_rate).min(per_user_cap);
+    let per_user_supply = (model.session_rate_per_hour * active_hours * win_rate).min(per_user_cap);
     let supply = matched as f64 * per_user_supply;
     // Demand: paced budget.
     let budget_cap = daily_budget_eur * calendar_days * model.pacing_utilization;
@@ -237,7 +337,7 @@ pub fn simulate_delivery(
             if t >= active_hours {
                 break;
             }
-            if (served as f64) < per_user_cap && rng.gen::<f64>() < model.auction_win_rate * fill {
+            if (served as f64) < per_user_cap && rng.gen::<f64>() < win_rate * fill {
                 served += 1;
                 if tfi.is_none() {
                     tfi = Some(t);
@@ -462,5 +562,100 @@ mod tests {
             assert!(report.clicks <= report.impressions);
             assert!(report.unique_click_ips <= report.clicks.max(1));
         }
+    }
+
+    /// A market stub returning a fixed contention for every campaign.
+    struct FixedMarket(Contention);
+
+    impl ImpressionMarket for FixedMarket {
+        fn contention(&self, _base: f64, _cap: f64, _seed: u64) -> Contention {
+            self.0
+        }
+    }
+
+    #[test]
+    fn neutral_market_is_bit_identical_to_isolated_path() {
+        let model = DeliveryModel::default();
+        let market = FixedMarket(Contention::NONE);
+        for seed in 0..25 {
+            for others in [0u64, 150, 500_000] {
+                let audience = MatchedAudience { target_matches: true, others };
+                let isolated = simulate_delivery(&model, audience, &paper_schedule(), 10.0, seed);
+                let marketed = simulate_delivery_in(
+                    &model,
+                    audience,
+                    &paper_schedule(),
+                    10.0,
+                    seed,
+                    Some(&market),
+                );
+                assert_eq!(isolated, marketed);
+                assert_eq!(
+                    isolated.cost_eur.to_bits(),
+                    marketed.cost_eur.to_bits(),
+                    "cost bits diverged at seed {seed} others {others}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contention_suppresses_target_wins_and_raises_prices() {
+        // With others == 0 the delivery RNG stream is identical across
+        // contention levels (the aggregate Poisson draw is skipped), so a
+        // lower win rate can only remove target impressions, never add.
+        let model = DeliveryModel { narrow_expansion_rate: 0.0, ..DeliveryModel::default() };
+        let market = FixedMarket(Contention { win_rate_factor: 0.25, price_factor: 1.0 });
+        let mut lost = 0u64;
+        for seed in 0..60 {
+            let audience = MatchedAudience { target_matches: true, others: 0 };
+            let base = simulate_delivery(&model, audience, &paper_schedule(), 10.0, seed);
+            let contended = simulate_delivery_in(
+                &model,
+                audience,
+                &paper_schedule(),
+                10.0,
+                seed,
+                Some(&market),
+            );
+            assert!(contended.target_impressions <= base.target_impressions);
+            lost += base.target_impressions - contended.target_impressions;
+        }
+        assert!(lost > 0, "a 4x win-rate cut should cost some impressions");
+
+        // A broad budget-limited campaign pays the price factor: same
+        // budget buys proportionally fewer impressions.
+        let market = FixedMarket(Contention { win_rate_factor: 1.0, price_factor: 3.0 });
+        let audience = MatchedAudience { target_matches: false, others: 3_000_000 };
+        let base = simulate_delivery(&model, audience, &paper_schedule(), 10.0, 9);
+        let contended =
+            simulate_delivery_in(&model, audience, &paper_schedule(), 10.0, 9, Some(&market));
+        assert!(
+            (contended.impressions as f64) < 0.5 * base.impressions as f64,
+            "3x price should roughly third the impressions: {} vs {}",
+            contended.impressions,
+            base.impressions
+        );
+        // Both still spend ~the paced budget.
+        assert!((contended.cost_eur - base.cost_eur).abs() < 0.2 * base.cost_eur.max(1.0));
+    }
+
+    #[test]
+    fn sanitized_clamps_hostile_factors_and_preserves_none() {
+        let none = Contention::NONE.sanitized();
+        assert!(none.is_none());
+        let wild = Contention { win_rate_factor: 7.0, price_factor: 0.2 }.sanitized();
+        assert_eq!(wild.win_rate_factor.to_bits(), 1.0f64.to_bits());
+        assert_eq!(wild.price_factor.to_bits(), 1.0f64.to_bits());
+        let bad = Contention { win_rate_factor: f64::NAN, price_factor: f64::INFINITY };
+        assert!(bad.sanitized().is_none());
+        let real = Contention { win_rate_factor: 0.4, price_factor: 2.5 }.sanitized();
+        assert!(!real.is_none());
+        assert_eq!(real, Contention { win_rate_factor: 0.4, price_factor: 2.5 });
+    }
+
+    #[test]
+    fn one_bits_is_the_bit_pattern_of_one() {
+        assert_eq!(Contention::ONE_BITS, 1.0f64.to_bits());
     }
 }

@@ -17,7 +17,10 @@
 //!   budgets, multi-window schedules, launch/stop, dashboard stats.
 //! * [`delivery`] — a discrete-event ad-delivery simulator whose auction,
 //!   pacing, frequency and cost constants are fitted to the paper's
-//!   Table 2 (e.g. the CPM–audience-size power law).
+//!   Table 2 (e.g. the CPM–audience-size power law), plus the
+//!   [`delivery::ImpressionMarket`] hook through which the
+//!   `fbsim-marketplace` crate injects competing demand (zero competition
+//!   reproduces the isolated path bit-identically).
 //! * [`custom_audience`] — PII-list audiences with the 100-record minimum
 //!   and the known padding bypass, used to evaluate countermeasures.
 //! * [`transparency`] — "Why am I seeing this ad?" records.
@@ -53,7 +56,7 @@ pub use analyze::{
 pub use campaign::{
     CampaignId, CampaignManager, CampaignSpec, CampaignState, Creativity, Schedule,
 };
-pub use delivery::{DeliveryModel, DeliveryReport};
+pub use delivery::{Contention, DeliveryModel, DeliveryReport, ImpressionMarket};
 pub use policy::{PlatformPolicy, PolicyViolation, StaticDecision};
 pub use reach::{AdsManagerApi, PotentialReach, ReportingEra};
 pub use targeting::{Gender, TargetingError, TargetingSpec};

@@ -1,0 +1,59 @@
+//! # fbsim-marketplace
+//!
+//! Competing-demand ad marketplace for the *Unique on Facebook* (IMC 2021)
+//! reproduction — ROADMAP item 3.
+//!
+//! The paper's §5 nanotargeting campaigns cost ~10 €/day because the real
+//! platform prices every impression in a *competed auction*; pricing a
+//! campaign in isolation (as `fbsim-adplatform::delivery` did originally)
+//! makes Table-2 costs and success dynamics optimistic whenever anyone else
+//! wants the same user. This crate supplies the missing demand side, in the
+//! style of the marrakesh marketplace family:
+//!
+//! * [`campaigns`] — a deterministic, seeded background population of
+//!   competing campaigns: audience specs drawn from the world's calibrated
+//!   interest popularity (score-weighted, targeted as unions), log-uniform
+//!   budgets and valuations, and a configurable share of strategic
+//!   "last look" bidders. Populations are *nested* across competition
+//!   levels (campaign `j` depends only on `(seed, j)`).
+//! * [`auction`] — the per-impression auction core: first-price or
+//!   second-price/fixed pricing over standing (paced) bids with a reserve,
+//!   plus the last-look raise. Pure and tie-broken by index.
+//! * [`pacing`] — the multiplicative budget-pacing loop (participation
+//!   throttling at full value) run to its fixed point over a
+//!   common-random-numbers opportunity set, and the optimal-bidding
+//!   baseline (bid shading via per-campaign bisection, Gauss-Seidel swept)
+//!   it is validated against.
+//! * [`market`] — the assembled [`Marketplace`]: `setup` samples and paces
+//!   the background population; `contention_for` answers foreground
+//!   queries as a seeded Monte-Carlo summary
+//!   ([`fbsim_adplatform::delivery::Contention`]) consumed by
+//!   `simulate_delivery_in` through the
+//!   [`fbsim_adplatform::delivery::ImpressionMarket`] trait.
+//!
+//! ## Determinism and the zero-competition contract
+//!
+//! Everything derives from [`MarketplaceConfig::seed`]: population, pacing
+//! fixed point, and every contention summary are bit-identical across runs
+//! and thread counts (all paths are sequential seeded Monte-Carlo). A
+//! marketplace with zero background campaigns — or one whose auctions never
+//! actually contest the foreground campaign — reports
+//! [`fbsim_adplatform::delivery::Contention::NONE`] *exactly*, which the
+//! delivery simulator applies as multiplications by `1.0`: the legacy
+//! isolated-pricing `DeliveryReport` is reproduced bit-for-bit (pinned by
+//! `tests/marketplace_equivalence.rs` at the workspace root).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod auction;
+pub mod campaigns;
+pub mod config;
+pub mod market;
+pub mod pacing;
+
+pub use auction::{resolve, AuctionOutcome, Bid};
+pub use campaigns::{sample_population, BackgroundCampaign};
+pub use config::{MarketplaceConfig, PacingConfig, Pricing};
+pub use market::Marketplace;
+pub use pacing::{converge, optimal_multipliers, PacingOutcome};

@@ -1,0 +1,606 @@
+//! Multiplicative budget pacing over the background market, and the
+//! optimal-bidding baseline it is validated against.
+//!
+//! **Pacing** here is participation throttling, the classic marketplace
+//! mechanism: a paced campaign always bids its full value but enters only a
+//! fraction `m_j` of the auctions it is eligible for. Spend is then nearly
+//! linear in `m_j`, so the multiplicative update (`m_j` nudged toward
+//! `spend == budget` by a bounded factor per round) converges smoothly.
+//! **Optimal bidding** is the alternative strategy: participate everywhere
+//! but *shade* the bid to `value × m_j`, solved directly by per-campaign
+//! bisection (own spend is monotone in the own multiplier) swept
+//! Gauss-Seidel. Both reach the same spend profile — budget-constrained
+//! campaigns spend ≈ budget, the rest bid full throttle — which is exactly
+//! what the pacing-convergence regression pins; the *prices* differ, which
+//! is why the strategies are worth distinguishing.
+//!
+//! Every round replays the **same** seeded opportunity set, including the
+//! per-(opportunity, campaign) participation coins (common random
+//! numbers), so both loops are deterministic fixed-point iterations,
+//! bit-identical across runs and thread counts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::auction::{resolve, Bid};
+use crate::campaigns::{mix64, BackgroundCampaign};
+use crate::config::MarketplaceConfig;
+
+/// Salt for the opportunity-set stream (kept distinct from campaign
+/// sampling and contention summaries).
+const OPPORTUNITY_SALT: u64 = 0x0FF0_57A6;
+
+/// Multiplier floor: neither throttle nor shade ever reaches exactly zero.
+const MIN_MULTIPLIER: f64 = 1e-6;
+
+/// Width of the idiosyncratic per-impression value jitter: at each
+/// opportunity a campaign's effective value is `value × U(1 ± width/2)`
+/// (user-ad match quality). Without it the optimal-bidding equilibrium is
+/// knife-edge: every budget-constrained campaign shades to the same
+/// clearing price and exact tie-breaks flip whole inventory blocks on
+/// 1e-12 bid changes, so no multiplier profile can balance budgets. The
+/// jitter makes each campaign's spend continuous in its multiplier.
+const VALUE_JITTER_WIDTH: f64 = 0.1;
+
+/// How a campaign's pacing multiplier is applied in a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PacingMode {
+    /// Bid full value, enter only a throttled fraction of auctions
+    /// (multiplicative pacing).
+    Throttle,
+    /// Enter every auction, bid `value × multiplier` (optimal-bidding
+    /// baseline).
+    Shade,
+}
+
+/// One campaign's standing at one sampled opportunity.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Campaign index.
+    campaign: u32,
+    /// Participation coin: the campaign shows up iff `coin < multiplier`
+    /// under throttling.
+    coin: f64,
+    /// Effective per-impression value at this opportunity
+    /// (`value × jitter`).
+    value: f64,
+}
+
+/// The shared per-round opportunity set: per sampled opportunity, the
+/// eligible background campaigns with their fixed participation coins and
+/// jittered effective values.
+pub(crate) struct OpportunitySet {
+    eligible: Vec<Vec<Slot>>,
+    /// Each sampled opportunity stands for this many real daily
+    /// opportunities when scaling spend to euros per day.
+    weight: f64,
+}
+
+impl OpportunitySet {
+    /// Samples the eligibility pattern, participation coins, and value
+    /// jitters once for a pacing run.
+    pub(crate) fn sample(campaigns: &[BackgroundCampaign], config: &MarketplaceConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(mix64(config.seed ^ OPPORTUNITY_SALT));
+        let n = config.pacing.opportunities_per_round;
+        let mut eligible = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut at: Vec<Slot> = Vec::new();
+            for (j, c) in campaigns.iter().enumerate() {
+                if rng.gen::<f64>() < c.audience_fraction {
+                    let coin = rng.gen::<f64>();
+                    let jitter = 1.0 + VALUE_JITTER_WIDTH * (rng.gen::<f64>() - 0.5);
+                    at.push(Slot {
+                        campaign: j as u32,
+                        coin,
+                        value: c.value_per_impression_eur * jitter,
+                    });
+                }
+            }
+            eligible.push(at);
+        }
+        Self { eligible, weight: config.daily_opportunities / n as f64 }
+    }
+}
+
+/// Aggregate outcome of one background round at fixed multipliers.
+pub(crate) struct RoundStats {
+    /// Daily spend per campaign, in euros.
+    pub daily_spend_eur: Vec<f64>,
+    /// Opportunities with at least one eligible campaign.
+    pub auctions: usize,
+    /// Auctions that cleared the reserve.
+    pub sold: usize,
+    /// Auctions won by a last-look raise.
+    pub sniped: usize,
+    /// Mean clearing price over sold auctions, in euros per impression.
+    pub mean_price_eur: f64,
+}
+
+/// Replays the opportunity set at the given multipliers.
+pub(crate) fn simulate_round(
+    campaigns: &[BackgroundCampaign],
+    multipliers: &[f64],
+    opportunities: &OpportunitySet,
+    config: &MarketplaceConfig,
+    mode: PacingMode,
+) -> RoundStats {
+    let reserve = config.reserve_cpm_eur / 1_000.0;
+    let mut spend = vec![0.0f64; campaigns.len()];
+    let mut auctions = 0usize;
+    let mut sold = 0usize;
+    let mut sniped = 0usize;
+    let mut price_sum = 0.0f64;
+    let mut bids: Vec<Bid> = Vec::new();
+    for eligible in &opportunities.eligible {
+        if eligible.is_empty() {
+            continue;
+        }
+        auctions += 1;
+        bids.clear();
+        for slot in eligible {
+            let c = &campaigns[slot.campaign as usize];
+            let m = multipliers[slot.campaign as usize];
+            let amount = match mode {
+                PacingMode::Throttle => {
+                    if slot.coin >= m {
+                        continue; // sitting this auction out
+                    }
+                    // A last-look bidder lurks below the reserve and relies
+                    // on its final raise, paying only the price it has to
+                    // beat; everyone else stands truthfully at full value.
+                    if c.last_look {
+                        0.0
+                    } else {
+                        slot.value
+                    }
+                }
+                PacingMode::Shade => slot.value * m,
+            };
+            bids.push(Bid {
+                bidder: slot.campaign as usize,
+                amount,
+                value: slot.value,
+                // The last look only exists in the pacing world; the
+                // optimal-bidding baseline shades truthfully — a sniper's
+                // spend would not respond to its shading multiplier, so no
+                // bisection could keep it on budget.
+                last_look: c.last_look && mode == PacingMode::Throttle,
+            });
+        }
+        if let Some(outcome) = resolve(&bids, config.pricing, reserve) {
+            sold += 1;
+            sniped += usize::from(outcome.sniped);
+            spend[outcome.winner] += outcome.price * opportunities.weight;
+            price_sum += outcome.price;
+        }
+    }
+    RoundStats {
+        daily_spend_eur: spend,
+        auctions,
+        sold,
+        sniped,
+        mean_price_eur: if sold > 0 { price_sum / sold as f64 } else { 0.0 },
+    }
+}
+
+/// Result of a pacing run (multiplicative loop or optimal baseline).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacingOutcome {
+    /// Final pacing multiplier per campaign, in `[MIN_MULTIPLIER, 1]` — a
+    /// participation throttle for the multiplicative loop, a bid-shading
+    /// factor for the optimal baseline.
+    pub multipliers: Vec<f64>,
+    /// Daily spend per campaign at the final multipliers, in euros.
+    pub daily_spend_eur: Vec<f64>,
+    /// Rounds the loop ran (bisection sweeps for the optimal baseline).
+    pub rounds: usize,
+    /// Whether every campaign met the convergence criterion.
+    pub converged: bool,
+    /// Worst relative budget error over budget-constrained campaigns
+    /// (after the per-campaign one-marginal-win slack).
+    pub max_rel_error: f64,
+    /// Campaigns pacing below full throttle (`m < 1`).
+    pub constrained: usize,
+    /// Mean clearing price over sold auctions in the final round.
+    pub mean_clearing_price_eur: f64,
+    /// Sold / contested auctions in the final round.
+    pub sell_through: f64,
+    /// Fraction of final-round sales won by a last-look raise.
+    pub snipe_share: f64,
+}
+
+impl PacingOutcome {
+    /// The outcome of the empty market: nothing to pace.
+    pub fn empty() -> Self {
+        Self {
+            multipliers: Vec::new(),
+            daily_spend_eur: Vec::new(),
+            rounds: 0,
+            converged: true,
+            max_rel_error: 0.0,
+            constrained: 0,
+            mean_clearing_price_eur: 0.0,
+            sell_through: 0.0,
+            snipe_share: 0.0,
+        }
+    }
+}
+
+/// Convergence check: a campaign is settled when it bids full throttle and
+/// stays under budget (supply-constrained), or its spend is within
+/// tolerance of its budget (budget-constrained). The sampled market is
+/// discrete — one marginal win moves spend by `weight × price` — so each
+/// campaign gets one marginal win (at its own value, an upper bound on the
+/// price) of absolute slack on top of the relative tolerance.
+fn budget_errors(
+    campaigns: &[BackgroundCampaign],
+    multipliers: &[f64],
+    spend: &[f64],
+    opportunity_weight: f64,
+    tolerance: f64,
+) -> (bool, f64) {
+    let mut converged = true;
+    let mut worst = 0.0f64;
+    for (j, c) in campaigns.iter().enumerate() {
+        let budget = c.daily_budget_eur;
+        let slack = tolerance * budget + opportunity_weight * c.value_per_impression_eur;
+        let gap = (spend[j] - budget).abs();
+        if multipliers[j] >= 1.0 - 1e-9 && spend[j] <= budget + slack {
+            continue; // full throttle and not overspending
+        }
+        worst =
+            worst.max((gap - opportunity_weight * c.value_per_impression_eur).max(0.0) / budget);
+        if gap > slack {
+            converged = false;
+        }
+    }
+    (converged, worst)
+}
+
+fn summarize(
+    campaigns: &[BackgroundCampaign],
+    multipliers: Vec<f64>,
+    stats: RoundStats,
+    rounds: usize,
+    opportunity_weight: f64,
+    tolerance: f64,
+) -> PacingOutcome {
+    let (converged, max_rel_error) = budget_errors(
+        campaigns,
+        &multipliers,
+        &stats.daily_spend_eur,
+        opportunity_weight,
+        tolerance,
+    );
+    let constrained = multipliers.iter().filter(|&&m| m < 1.0 - 1e-9).count();
+    PacingOutcome {
+        constrained,
+        converged,
+        max_rel_error,
+        rounds,
+        mean_clearing_price_eur: stats.mean_price_eur,
+        sell_through: if stats.auctions > 0 {
+            stats.sold as f64 / stats.auctions as f64
+        } else {
+            0.0
+        },
+        snipe_share: if stats.sold > 0 { stats.sniped as f64 / stats.sold as f64 } else { 0.0 },
+        daily_spend_eur: stats.daily_spend_eur,
+        multipliers,
+    }
+}
+
+/// The shared multiplicative fixed-point loop behind both pacing flavors.
+///
+/// Per round, every campaign moves its multiplier by at most a `(1 + step)`
+/// factor toward `spend == budget`, damped by a square root so the coupled
+/// fixed point is approached without overshoot. The value jitter makes each
+/// campaign's spend continuous in its multiplier under either mode, which
+/// is what lets the same loop solve both problems.
+fn converge_mode(
+    campaigns: &[BackgroundCampaign],
+    config: &MarketplaceConfig,
+    mode: PacingMode,
+) -> PacingOutcome {
+    if campaigns.is_empty() {
+        return PacingOutcome::empty();
+    }
+    let opportunities = OpportunitySet::sample(campaigns, config);
+    let mut multipliers = vec![1.0f64; campaigns.len()];
+    let mut rounds = 0usize;
+    let mut stats = simulate_round(campaigns, &multipliers, &opportunities, config, mode);
+    while rounds < config.pacing.max_rounds {
+        let (converged, _) = budget_errors(
+            campaigns,
+            &multipliers,
+            &stats.daily_spend_eur,
+            opportunities.weight,
+            config.pacing.tolerance,
+        );
+        if converged {
+            break;
+        }
+        let up = 1.0 + config.pacing.step;
+        for (j, c) in campaigns.iter().enumerate() {
+            let spend = stats.daily_spend_eur[j];
+            // Spending nothing (throttled out of every auction, shaded
+            // below the reserve, or always outbid) pushes the multiplier up
+            // as hard as one round allows.
+            let ratio = if spend > 0.0 { c.daily_budget_eur / spend } else { up * up };
+            let factor = ratio.sqrt().clamp(1.0 / up, up);
+            multipliers[j] = (multipliers[j] * factor).clamp(MIN_MULTIPLIER, 1.0);
+        }
+        stats = simulate_round(campaigns, &multipliers, &opportunities, config, mode);
+        rounds += 1;
+    }
+    let tele = uof_telemetry::global();
+    tele.count("market.pacing.rounds", rounds as u64);
+    tele.count("market.pacing.auctions", (stats.auctions * (rounds + 1)) as u64);
+    summarize(campaigns, multipliers, stats, rounds, opportunities.weight, config.pacing.tolerance)
+}
+
+/// Runs the multiplicative budget-pacing loop (participation throttling at
+/// full value) to convergence (or `max_rounds`).
+pub fn converge(campaigns: &[BackgroundCampaign], config: &MarketplaceConfig) -> PacingOutcome {
+    let _span = uof_telemetry::span!("market.pacing", campaigns = campaigns.len() as u64);
+    converge_mode(campaigns, config, PacingMode::Throttle)
+}
+
+/// Spend of campaign `j` alone when it shades to `value_j × m` against the
+/// field's fixed shading multipliers, over the opportunities where it is
+/// eligible (optimal bidders participate everywhere). Monotone
+/// nondecreasing in `m`: raising the own bid wins a superset of auctions
+/// while the prices paid (others' bids) stay fixed.
+fn own_spend(
+    j: usize,
+    m: f64,
+    multipliers: &[f64],
+    opportunities: &OpportunitySet,
+    config: &MarketplaceConfig,
+) -> f64 {
+    let reserve = config.reserve_cpm_eur / 1_000.0;
+    let mut spend = 0.0f64;
+    let mut bids: Vec<Bid> = Vec::new();
+    for eligible in &opportunities.eligible {
+        if !eligible.iter().any(|slot| slot.campaign as usize == j) {
+            continue;
+        }
+        bids.clear();
+        for slot in eligible {
+            let k = slot.campaign as usize;
+            let mult = if k == j { m } else { multipliers[k] };
+            bids.push(Bid {
+                bidder: k,
+                amount: slot.value * mult,
+                value: slot.value,
+                last_look: false, // truthful shading, as in the Shade round
+            });
+        }
+        if let Some(outcome) = resolve(&bids, config.pricing, reserve) {
+            if outcome.winner == j {
+                spend += outcome.price * opportunities.weight;
+            }
+        }
+    }
+    spend
+}
+
+/// Gauss-Seidel sweeps per optimal-bidding solve.
+const OPTIMAL_SWEEPS: usize = 64;
+/// Bisection iterations per campaign per sweep.
+const BISECTION_ITERS: usize = 40;
+
+/// Solves the optimal-bidding baseline: every campaign participates
+/// everywhere and *shades* its bid to `value × multiplier` until
+/// budget-constrained campaigns exactly exhaust their budgets.
+///
+/// Shaded spend is far too steep in the multiplier for the multiplicative
+/// loop (the whole allocation turns over across the jitter band), so this
+/// solves each campaign's best response directly — bisection on own spend,
+/// which is monotone in the own multiplier — and sweeps Gauss-Seidel until
+/// the joint profile meets the budget tolerance. Shading campaigns buy at
+/// (weakly) lower clearing prices than throttled ones, so this is the
+/// benchmark profile multiplicative pacing is validated against: the spend
+/// profiles agree (both pin constrained campaigns to their budgets) while
+/// the price and volume terms differ. The returned outcome's `rounds` is
+/// the number of sweeps used.
+pub fn optimal_multipliers(
+    campaigns: &[BackgroundCampaign],
+    config: &MarketplaceConfig,
+) -> PacingOutcome {
+    if campaigns.is_empty() {
+        return PacingOutcome::empty();
+    }
+    let _span = uof_telemetry::span!("market.optimal", campaigns = campaigns.len() as u64);
+    let opportunities = OpportunitySet::sample(campaigns, config);
+    let mut multipliers = vec![1.0f64; campaigns.len()];
+    let mut sweeps = 0usize;
+    let mut stats =
+        simulate_round(campaigns, &multipliers, &opportunities, config, PacingMode::Shade);
+    while sweeps < OPTIMAL_SWEEPS {
+        let (converged, _) = budget_errors(
+            campaigns,
+            &multipliers,
+            &stats.daily_spend_eur,
+            opportunities.weight,
+            config.pacing.tolerance,
+        );
+        if converged {
+            break;
+        }
+        sweeps += 1;
+        for j in 0..campaigns.len() {
+            let budget = campaigns[j].daily_budget_eur;
+            let full = own_spend(j, 1.0, &multipliers, &opportunities, config);
+            multipliers[j] = if full <= budget {
+                1.0 // supply-constrained: full value stays under budget
+            } else {
+                // Largest shade whose spend still fits the budget.
+                let (mut lo, mut hi) = (MIN_MULTIPLIER, 1.0f64);
+                for _ in 0..BISECTION_ITERS {
+                    let mid = 0.5 * (lo + hi);
+                    let spend = own_spend(j, mid, &multipliers, &opportunities, config);
+                    if spend <= budget {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo
+            };
+        }
+        stats = simulate_round(campaigns, &multipliers, &opportunities, config, PacingMode::Shade);
+    }
+    summarize(campaigns, multipliers, stats, sweeps, opportunities.weight, config.pacing.tolerance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaigns::sample_population;
+    use fbsim_population::{World, WorldConfig};
+    use std::sync::OnceLock;
+
+    fn world() -> &'static World {
+        static WORLD: OnceLock<World> = OnceLock::new();
+        WORLD.get_or_init(|| World::generate(WorldConfig::test_scale(13)).unwrap())
+    }
+
+    fn scenario(n: usize) -> (Vec<BackgroundCampaign>, MarketplaceConfig) {
+        let config = MarketplaceConfig::seeded(41, n);
+        let w = world();
+        (sample_population(w.catalog(), w.population(), &config), config)
+    }
+
+    #[test]
+    fn empty_market_paces_trivially() {
+        let (_, config) = scenario(0);
+        let out = converge(&[], &config);
+        assert!(out.converged);
+        assert_eq!(out.rounds, 0);
+        assert!(out.multipliers.is_empty());
+    }
+
+    #[test]
+    fn pacing_is_deterministic() {
+        let (campaigns, config) = scenario(24);
+        let a = converge(&campaigns, &config);
+        let b = converge(&campaigns, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pacing_respects_budgets_within_tolerance() {
+        let (campaigns, config) = scenario(24);
+        let out = converge(&campaigns, &config);
+        assert!(
+            out.converged,
+            "no convergence after {} rounds (err {})",
+            out.rounds, out.max_rel_error
+        );
+        for (j, c) in campaigns.iter().enumerate() {
+            let spend = out.daily_spend_eur[j];
+            let slack = config.pacing.tolerance * c.daily_budget_eur
+                + (config.daily_opportunities / config.pacing.opportunities_per_round as f64)
+                    * c.value_per_impression_eur;
+            assert!(
+                spend <= c.daily_budget_eur + slack,
+                "campaign {j} overspends: {spend} vs {}",
+                c.daily_budget_eur
+            );
+        }
+        // The scenario must actually exercise pacing: someone is throttled.
+        assert!(out.constrained > 0, "no campaign was budget-constrained");
+        assert!(out.sell_through > 0.5, "market barely clears: {}", out.sell_through);
+    }
+
+    #[test]
+    fn multipliers_stay_in_unit_interval() {
+        let (campaigns, config) = scenario(32);
+        for out in [converge(&campaigns, &config), optimal_multipliers(&campaigns, &config)] {
+            for &m in &out.multipliers {
+                assert!((MIN_MULTIPLIER..=1.0).contains(&m), "multiplier {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_profile_stays_near_budgets() {
+        let (campaigns, config) = scenario(24);
+        let out = optimal_multipliers(&campaigns, &config);
+        assert!(
+            out.converged,
+            "optimal profile violates budgets after {} rounds (err {})",
+            out.rounds, out.max_rel_error
+        );
+        for (j, c) in campaigns.iter().enumerate() {
+            let slack = config.pacing.tolerance * c.daily_budget_eur
+                + (config.daily_opportunities / config.pacing.opportunities_per_round as f64)
+                    * c.value_per_impression_eur;
+            assert!(
+                out.daily_spend_eur[j] <= c.daily_budget_eur + slack,
+                "campaign {j} overspends the optimal profile: {} vs {}",
+                out.daily_spend_eur[j],
+                c.daily_budget_eur
+            );
+        }
+    }
+
+    #[test]
+    fn pacing_and_optimal_reach_the_same_spend_profile() {
+        // The regression the marketplace is calibrated around: throttling
+        // and shading pin every budget-constrained campaign to its budget,
+        // so the two spend profiles agree within tolerance — while shading
+        // buys at (weakly) lower clearing prices.
+        let (campaigns, config) = scenario(24);
+        let paced = converge(&campaigns, &config);
+        let optimal = optimal_multipliers(&campaigns, &config);
+        assert!(paced.converged && optimal.converged);
+        for (j, c) in campaigns.iter().enumerate() {
+            let slack = 2.0 * config.pacing.tolerance * c.daily_budget_eur
+                + 2.0
+                    * (config.daily_opportunities / config.pacing.opportunities_per_round as f64)
+                    * c.value_per_impression_eur;
+            // Compare where both mechanisms are budget-constrained (spend
+            // pinned to budget); a campaign can legitimately be supply-
+            // constrained under one mechanism and not the other.
+            let constrained_both =
+                paced.multipliers[j] < 1.0 - 1e-9 && optimal.multipliers[j] < 1.0 - 1e-9;
+            if constrained_both {
+                assert!(
+                    (paced.daily_spend_eur[j] - optimal.daily_spend_eur[j]).abs() <= slack,
+                    "campaign {j}: paced {} vs optimal {} (budget {})",
+                    paced.daily_spend_eur[j],
+                    optimal.daily_spend_eur[j],
+                    c.daily_budget_eur
+                );
+            }
+        }
+        assert!(
+            optimal.mean_clearing_price_eur <= paced.mean_clearing_price_eur * 1.05,
+            "shading should not pay more: {} vs {}",
+            optimal.mean_clearing_price_eur,
+            paced.mean_clearing_price_eur
+        );
+    }
+
+    #[test]
+    fn throttled_round_spends_less_than_full_throttle() {
+        let (campaigns, config) = scenario(16);
+        let opportunities = OpportunitySet::sample(&campaigns, &config);
+        let full = vec![1.0f64; campaigns.len()];
+        let half = vec![0.5f64; campaigns.len()];
+        let full_stats =
+            simulate_round(&campaigns, &full, &opportunities, &config, PacingMode::Throttle);
+        let half_stats =
+            simulate_round(&campaigns, &half, &opportunities, &config, PacingMode::Throttle);
+        let total_full: f64 = full_stats.daily_spend_eur.iter().sum();
+        let total_half: f64 = half_stats.daily_spend_eur.iter().sum();
+        assert!(
+            total_half < total_full,
+            "halving every throttle should cut total spend: {total_half} vs {total_full}"
+        );
+        assert!(half_stats.sold < full_stats.sold);
+    }
+}

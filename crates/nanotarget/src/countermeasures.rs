@@ -44,21 +44,16 @@ impl PolicyEvaluation {
     }
 }
 
-/// Replays the experiment's campaigns against a policy.
-///
-/// Each campaign first goes through the policy's static pre-flight over
-/// engine-exact marginals (see
-/// [`SpecAnalyzer::from_engine`]); only
-/// inconclusive campaigns pay for a true-audience conjunction sweep, exactly
-/// as the [`CampaignManager`](fbsim_adplatform::CampaignManager) launch path
-/// does.
-pub fn evaluate_policy<P: PlatformPolicy>(
+/// Replays the experiment's campaigns against a policy, returning the
+/// evaluation together with the per-campaign blocked mask (plan order).
+fn evaluate_policy_masked<P: PlatformPolicy>(
     world: &World,
     result: &ExperimentResult,
     policy: &P,
-) -> PolicyEvaluation {
+) -> (PolicyEvaluation, Vec<bool>) {
     let api = AdsManagerApi::new(world, ReportingEra::Post2018);
     let analyzer = SpecAnalyzer::from_engine(&world.reach_engine());
+    let mut mask = Vec::with_capacity(result.rows.len());
     let mut blocked = 0;
     let mut successes_blocked = 0;
     let mut successes_total = 0;
@@ -79,6 +74,7 @@ pub fn evaluate_policy<P: PlatformPolicy>(
                 policy.evaluate(&campaign.spec, true_reach).is_err()
             }
         };
+        mask.push(is_blocked);
         if is_blocked {
             blocked += 1;
         }
@@ -89,14 +85,31 @@ pub fn evaluate_policy<P: PlatformPolicy>(
             }
         }
     }
-    PolicyEvaluation {
+    let eval = PolicyEvaluation {
         policy: policy.name().to_string(),
         blocked,
         total: result.rows.len(),
         successes_blocked,
         successes_total,
         statically_decided,
-    }
+    };
+    (eval, mask)
+}
+
+/// Replays the experiment's campaigns against a policy.
+///
+/// Each campaign first goes through the policy's static pre-flight over
+/// engine-exact marginals (see
+/// [`SpecAnalyzer::from_engine`]); only
+/// inconclusive campaigns pay for a true-audience conjunction sweep, exactly
+/// as the [`CampaignManager`](fbsim_adplatform::CampaignManager) launch path
+/// does.
+pub fn evaluate_policy<P: PlatformPolicy>(
+    world: &World,
+    result: &ExperimentResult,
+    policy: &P,
+) -> PolicyEvaluation {
+    evaluate_policy_masked(world, result, policy).0
 }
 
 /// The full §8.3 evaluation: both proposals separately and combined.
@@ -105,6 +118,83 @@ pub fn evaluate_all(world: &World, result: &ExperimentResult) -> Vec<PolicyEvalu
         evaluate_policy(world, result, &InterestCapPolicy::paper_proposal()),
         evaluate_policy(world, result, &MinActiveAudiencePolicy::paper_proposal()),
         evaluate_policy(world, result, &CombinedPolicy::paper_proposal()),
+    ]
+}
+
+/// One policy evaluated against the isolated run and a contended run of the
+/// same plan.
+///
+/// The §8.3 policies act at *launch*, on the campaign spec and its true
+/// audience — inputs contention cannot touch — so the per-campaign blocked
+/// mask is expected to be identical across runs (`blocked_set_changed ==
+/// false`); this is the auditable statement that the proposed rules are
+/// robust to market conditions. What contention does change is which
+/// campaigns *succeed*, and hence how many of the blocked campaigns were
+/// live threats (`successes_blocked`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyContentionContrast {
+    /// Policy name.
+    pub policy: String,
+    /// Evaluation against the isolated run.
+    pub isolated: PolicyEvaluation,
+    /// Evaluation against the contended run.
+    pub contended: PolicyEvaluation,
+    /// Whether the per-campaign blocked mask differs between the runs.
+    pub blocked_set_changed: bool,
+    /// Whether the set of successful campaigns differs between the runs.
+    pub success_set_changed: bool,
+}
+
+/// The §8.3 evaluation under contention: each policy against the isolated
+/// baseline and a contended replay of the same plan, with the blocked-set
+/// comparison feeding `table5_countermeasures`.
+pub fn evaluate_all_under_contention(
+    world: &World,
+    isolated: &ExperimentResult,
+    contended: &ExperimentResult,
+) -> Vec<PolicyContentionContrast> {
+    let success_set_changed = isolated.rows.iter().zip(&contended.rows).any(|(a, b)| {
+        (a.verdict == NanotargetingVerdict::Success) != (b.verdict == NanotargetingVerdict::Success)
+    });
+    fn contrast<P: PlatformPolicy>(
+        world: &World,
+        isolated: &ExperimentResult,
+        contended: &ExperimentResult,
+        policy: &P,
+        success_set_changed: bool,
+    ) -> PolicyContentionContrast {
+        let (iso_eval, iso_mask) = evaluate_policy_masked(world, isolated, policy);
+        let (con_eval, con_mask) = evaluate_policy_masked(world, contended, policy);
+        PolicyContentionContrast {
+            policy: iso_eval.policy.clone(),
+            blocked_set_changed: iso_mask != con_mask,
+            success_set_changed,
+            isolated: iso_eval,
+            contended: con_eval,
+        }
+    }
+    vec![
+        contrast(
+            world,
+            isolated,
+            contended,
+            &InterestCapPolicy::paper_proposal(),
+            success_set_changed,
+        ),
+        contrast(
+            world,
+            isolated,
+            contended,
+            &MinActiveAudiencePolicy::paper_proposal(),
+            success_set_changed,
+        ),
+        contrast(
+            world,
+            isolated,
+            contended,
+            &CombinedPolicy::paper_proposal(),
+            success_set_changed,
+        ),
     ]
 }
 
@@ -192,6 +282,37 @@ mod tests {
         let combined = &evals[2];
         assert!(combined.blocked >= evals[0].blocked.max(evals[1].blocked));
         assert!(combined.blocks_all_successes());
+    }
+
+    #[test]
+    fn contention_never_changes_the_blocked_set() {
+        // §8.3 policies act on the spec and its true audience at launch,
+        // which contention cannot touch: the blocked set must be invariant
+        // even when contention changes which campaigns succeed.
+        let (world, result) = fixture();
+        let mut rng = StdRng::seed_from_u64(99);
+        let targets: Vec<MaterializedUser> =
+            (0..3).map(|_| world.materializer().sample_user_with_count(&mut rng, 120)).collect();
+        let refs: Vec<&MaterializedUser> = targets.iter().collect();
+        let sweep = crate::contention::run_contention_sweep(
+            world,
+            &refs,
+            &ExperimentConfig::default(),
+            2021,
+            &[64],
+        )
+        .unwrap();
+        let contrasts = evaluate_all_under_contention(world, result, &sweep.results[0]);
+        assert_eq!(contrasts.len(), 3);
+        for c in &contrasts {
+            assert!(!c.blocked_set_changed, "{}: blocked set changed under contention", c.policy);
+            assert_eq!(c.isolated.blocked, c.contended.blocked);
+            // Whatever still succeeds under contention stays fully covered
+            // by the combined proposal.
+            if c.policy == contrasts[2].policy {
+                assert!(c.contended.blocks_all_successes(), "{c:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Running the 21-campaign experiment — Table 2.
 
 use fbsim_adplatform::campaign::{CampaignId, CampaignManager};
-use fbsim_adplatform::delivery::DeliveryModel;
+use fbsim_adplatform::delivery::{DeliveryModel, ImpressionMarket};
 use fbsim_adplatform::policy::CurrentFbPolicy;
 use fbsim_adplatform::reach::{AdsManagerApi, ReportingEra};
 use fbsim_adplatform::transparency::WhyAmISeeingThis;
@@ -146,7 +146,9 @@ impl ExperimentResult {
     }
 }
 
-/// Runs the full experiment against a world.
+/// Runs the full experiment against a world with isolated (market-free)
+/// pricing, exactly as the paper's campaigns were priced in the original
+/// model.
 ///
 /// # Errors
 ///
@@ -155,6 +157,22 @@ pub fn run_experiment(
     world: &World,
     targets: &[&MaterializedUser],
     config: &ExperimentConfig,
+) -> Result<ExperimentResult, PlanError> {
+    run_experiment_in(world, targets, config, None)
+}
+
+/// Runs the full experiment with impressions resolved through a marketplace
+/// (`None` reproduces [`run_experiment`] bit-for-bit — the zero-competition
+/// contract).
+///
+/// # Errors
+///
+/// Fails if a target has fewer than 22 interests.
+pub fn run_experiment_in(
+    world: &World,
+    targets: &[&MaterializedUser],
+    config: &ExperimentConfig,
+    market: Option<&dyn ImpressionMarket>,
 ) -> Result<ExperimentResult, PlanError> {
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7A26E7);
     let plan = {
@@ -177,7 +195,7 @@ pub fn run_experiment(
         let (id, report) = {
             let _span = uof_telemetry::span!("nanotarget.launch");
             let id = manager
-                .launch(&mut rng, campaign.spec.clone(), true)
+                .launch_in_market(&mut rng, campaign.spec.clone(), true, market)
                 // lint:allow(no-unwrap) — invariant: CurrentFbPolicy accepts every spec by definition
                 .expect("CurrentFbPolicy never rejects");
             // lint:allow(no-unwrap) — invariant: the campaign was launched two lines above

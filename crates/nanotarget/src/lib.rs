@@ -14,9 +14,15 @@
 //!   nanotargeting attempt whenever more than one user is reached, even if
 //!   the target is among them.
 //! * [`experiment`] — runs the 21 campaigns against the delivery simulator
-//!   and produces Table 2.
+//!   and produces Table 2; [`experiment::run_experiment_in`] resolves
+//!   impressions through an `fbsim-marketplace` of competing campaigns.
+//! * [`contention`] — re-runs §5 across competition-intensity levels:
+//!   success rate, reach, and cost-versus-contention curves over a nested
+//!   background-campaign population (level 0 reproduces the isolated run
+//!   bit-for-bit).
 //! * [`countermeasures`] — replays the experiment (and the custom-audience
-//!   bypass) under the §8.3 policies and reports what is blocked.
+//!   bypass) under the §8.3 policies and reports what is blocked, including
+//!   the isolated-versus-contended blocked-set contrast.
 //! * [`inference`] — the Korolova-style attribute-inference attack of
 //!   §7.2.1: once an audience pins a single person, per-candidate probe
 //!   campaigns reveal their private attributes; also blocked by the §8.3
@@ -25,6 +31,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod contention;
 pub mod countermeasures;
 pub mod experiment;
 pub mod inference;
@@ -32,7 +39,10 @@ pub mod plan;
 pub mod validate;
 pub mod weblog;
 
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, Table2Row};
+pub use contention::{run_contention_sweep, ContentionLevel, ContentionSweep};
+pub use experiment::{
+    run_experiment, run_experiment_in, ExperimentConfig, ExperimentResult, Table2Row,
+};
 pub use plan::{CampaignPlan, ExperimentPlan};
 pub use validate::{validate_campaign, NanotargetingVerdict, ValidationSignals};
 pub use weblog::{ClickLog, PseudonymizedIp};

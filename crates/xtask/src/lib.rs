@@ -742,6 +742,13 @@ mod tests {
         assert!(!cache.simulation && !cache.wallclock_policed);
         let pop = classify(Path::new("crates/fbsim-population/src/reach.rs")).unwrap();
         assert!(pop.thread_policed && pop.order_policed);
+        // The marketplace is a simulation crate like the other fbsim-*
+        // members: deterministic-RNG, iteration-order, thread, and
+        // wall-clock rules all apply to its auction/pacing hot paths.
+        let market = classify(Path::new("crates/fbsim-marketplace/src/pacing.rs")).unwrap();
+        assert!(market.library && market.simulation);
+        assert!(market.order_policed && market.wallclock_policed);
+        assert!(market.thread_policed && market.print_policed && market.env_policed);
         assert!(classify(Path::new("vendor/rand/src/lib.rs")).is_none());
         assert!(classify(Path::new("README.md")).is_none());
     }

@@ -56,4 +56,10 @@ echo "==> router smoke sweep (sharded mode bit-identity, UOF_THREADS=1 and defau
 UOF_THREADS=1 cargo test -q -p reach-api --test router
 cargo test -q -p reach-api --test router
 
+echo "==> marketplace smoke sweep (auction/pacing determinism + zero-competition bit-identity, UOF_THREADS=1 and default)"
+UOF_THREADS=1 cargo test -q -p fbsim-marketplace
+UOF_THREADS=1 cargo test -q --test marketplace_equivalence
+cargo test -q -p fbsim-marketplace
+cargo test -q --test marketplace_equivalence
+
 echo "==> all checks passed"

@@ -12,6 +12,7 @@
 
 pub use fbsim_adplatform as adplatform;
 pub use fbsim_fdvt as fdvt;
+pub use fbsim_marketplace as marketplace;
 pub use fbsim_population as population;
 pub use fbsim_stats as stats;
 pub use nanotarget;

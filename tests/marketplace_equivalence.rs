@@ -1,0 +1,163 @@
+//! Zero-competition marketplace equivalence: routing delivery through a
+//! marketplace with **no** background campaigns must reproduce the legacy
+//! isolated path **bit-identically** — every `f64` compared via `to_bits`,
+//! every counter exactly equal — at any worker count. The contract holds
+//! because an empty market returns `Contention::NONE` (factors exactly
+//! `1.0`, which are IEEE-754 no-ops under multiplication) and the market
+//! summary seed is derived by XOR instead of an extra RNG draw, leaving the
+//! legacy delivery stream untouched.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use unique_on_facebook::adplatform::campaign::Schedule;
+use unique_on_facebook::adplatform::delivery::{
+    simulate_delivery, simulate_delivery_in, DeliveryModel, DeliveryReport, ImpressionMarket,
+    MatchedAudience,
+};
+use unique_on_facebook::marketplace::{Marketplace, MarketplaceConfig};
+use unique_on_facebook::nanotarget::{
+    run_experiment, run_experiment_in, ExperimentConfig, ExperimentResult,
+};
+use unique_on_facebook::population::{MaterializedUser, World, WorldConfig};
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::generate(WorldConfig::test_scale(2021)).unwrap())
+}
+
+fn empty_market() -> &'static Marketplace {
+    static MARKET: OnceLock<Marketplace> = OnceLock::new();
+    MARKET.get_or_init(|| Marketplace::setup(world(), MarketplaceConfig::seeded(2021, 0)).unwrap())
+}
+
+/// Every field of a report, with floats as raw bits, so equality is exact.
+#[allow(clippy::type_complexity)]
+fn report_bits(r: &DeliveryReport) -> (bool, u64, u64, u64, Option<u64>, u64, u64, u64) {
+    (
+        r.target_seen,
+        r.reached,
+        r.impressions,
+        r.target_impressions,
+        r.time_to_first_impression_hours.map(f64::to_bits),
+        r.cost_eur.to_bits(),
+        r.clicks,
+        r.unique_click_ips,
+    )
+}
+
+/// The thread counts the satellite pins: `UOF_THREADS` 1, 4, and the
+/// session default (`None` = whatever the pool already decided).
+const THREAD_COUNTS: [Option<usize>; 3] = [Some(1), Some(4), None];
+
+fn at_thread_count<T>(threads: Option<usize>, run: impl Fn() -> T) -> T {
+    match threads {
+        Some(t) => rayon::with_thread_count(t, run),
+        None => run(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn zero_competition_delivery_is_bit_identical_across_thread_counts(
+        others in 0u64..100_000,
+        target in any::<bool>(),
+        budget_cents in 100u64..5_000,
+        seed in 0u64..500,
+    ) {
+        let model = DeliveryModel::default();
+        let schedule = Schedule::paper_experiment();
+        let budget = budget_cents as f64 / 100.0;
+        let legacy = simulate_delivery(
+            &model,
+            MatchedAudience { target_matches: target, others },
+            &schedule,
+            budget,
+            seed,
+        );
+        let legacy_bits = report_bits(&legacy);
+        for threads in THREAD_COUNTS {
+            let market = at_thread_count(threads, || {
+                simulate_delivery_in(
+                    &model,
+                    MatchedAudience { target_matches: target, others },
+                    &schedule,
+                    budget,
+                    seed,
+                    Some(empty_market() as &dyn ImpressionMarket),
+                )
+            });
+            prop_assert_eq!(
+                report_bits(&market),
+                legacy_bits,
+                "market path drifted from legacy at threads={:?}",
+                threads
+            );
+        }
+    }
+}
+
+fn experiment_fixture() -> (&'static World, Vec<MaterializedUser>) {
+    let world = world();
+    let mut rng = StdRng::seed_from_u64(99);
+    let targets: Vec<MaterializedUser> =
+        (0..2).map(|_| world.materializer().sample_user_with_count(&mut rng, 120)).collect();
+    (world, targets)
+}
+
+fn experiment_bits(result: &ExperimentResult) -> Vec<(usize, usize, bool, u64, u64, u64)> {
+    result
+        .rows
+        .iter()
+        .map(|r| {
+            (r.user_index, r.interest_count, r.seen, r.reached, r.impressions, r.cost_eur.to_bits())
+        })
+        .collect()
+}
+
+#[test]
+fn zero_competition_experiment_matches_isolated_run() {
+    let (world, targets) = experiment_fixture();
+    let refs: Vec<&MaterializedUser> = targets.iter().collect();
+    let config = ExperimentConfig::default();
+    let isolated = run_experiment(world, &refs, &config).unwrap();
+    for threads in THREAD_COUNTS {
+        let through_market = at_thread_count(threads, || {
+            run_experiment_in(world, &refs, &config, Some(empty_market() as &dyn ImpressionMarket))
+                .unwrap()
+        });
+        assert_eq!(isolated.rows, through_market.rows, "rows drifted at threads={threads:?}");
+        assert_eq!(
+            experiment_bits(&isolated),
+            experiment_bits(&through_market),
+            "f64 bits drifted at threads={threads:?}"
+        );
+    }
+}
+
+#[test]
+fn marketplace_setup_is_thread_count_invariant() {
+    // A contended marketplace (population sampling + pacing fixed point +
+    // contention Monte-Carlo) must also be a pure function of its seed,
+    // regardless of worker count.
+    let config = || MarketplaceConfig::seeded(9, 32);
+    let baseline = rayon::with_thread_count(1, || Marketplace::setup(world(), config()).unwrap());
+    let probe = |m: &Marketplace| -> Vec<(u64, u64)> {
+        [0u64, 7, 991]
+            .iter()
+            .map(|&s| {
+                let c = m.contention_for(0.001, 0.01, s);
+                (c.win_rate_factor.to_bits(), c.price_factor.to_bits())
+            })
+            .collect()
+    };
+    for threads in THREAD_COUNTS {
+        let market = at_thread_count(threads, || Marketplace::setup(world(), config()).unwrap());
+        assert_eq!(baseline.campaigns(), market.campaigns(), "population drifted at {threads:?}");
+        assert_eq!(baseline.pacing(), market.pacing(), "pacing drifted at {threads:?}");
+        assert_eq!(probe(&baseline), probe(&market), "contention drifted at {threads:?}");
+    }
+}
