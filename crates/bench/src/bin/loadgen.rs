@@ -140,11 +140,54 @@ impl PopularitySampler {
     }
 }
 
+/// Request class labels, parallel to `Workload::requests`.
+const CLASS_SCALAR: &str = "scalar";
+const CLASS_NESTED: &str = "nested";
+const CLASS_SAMPLED: &str = "sampled";
+
 struct Workload {
     requests: Vec<ReachRequest>,
+    /// Class label per request (`CLASS_*`), same order as `requests`.
+    classes: Vec<&'static str>,
     scalar: usize,
     nested: usize,
     sampled: usize,
+}
+
+/// One latency histogram per request class, for per-request wall-latency
+/// recording in the sequential passes.
+struct ClassHistograms {
+    scalar: std::sync::Arc<Histogram>,
+    nested: std::sync::Arc<Histogram>,
+    sampled: std::sync::Arc<Histogram>,
+}
+
+impl ClassHistograms {
+    fn new(telemetry: &Telemetry, prefix: &str) -> Self {
+        let registry = telemetry.registry();
+        // Literal name per class: the lint contract wants greppable metric
+        // names, and three literals beat one format!().
+        match prefix {
+            "loopback" => Self {
+                scalar: registry.latency_histogram("loadgen.loopback.scalar"),
+                nested: registry.latency_histogram("loadgen.loopback.nested"),
+                sampled: registry.latency_histogram("loadgen.loopback.sampled"),
+            },
+            _ => Self {
+                scalar: registry.latency_histogram("loadgen.emulated.scalar"),
+                nested: registry.latency_histogram("loadgen.emulated.nested"),
+                sampled: registry.latency_histogram("loadgen.emulated.sampled"),
+            },
+        }
+    }
+
+    fn observe(&self, class: &str, ns: u64) {
+        match class {
+            CLASS_SCALAR => self.scalar.observe(ns),
+            CLASS_NESTED => self.nested.observe(ns),
+            _ => self.sampled.observe(ns),
+        }
+    }
 }
 
 /// The FDVT-cohort-shaped mix: 60% scalar conjunctions, 25% nested
@@ -159,11 +202,13 @@ fn build_workload(world: &World, cohort: &FdvtDataset, seed: u64) -> Workload {
         location_pool[rng.gen_range(0..location_pool.len())].iter().map(|s| s.to_string()).collect()
     };
     let mut requests = Vec::with_capacity(WORKLOAD);
+    let mut classes = Vec::with_capacity(WORKLOAD);
     let (mut scalar, mut nested, mut sampled) = (0, 0, 0);
     for turn in 0..WORKLOAD {
         let roll = rng.gen_range(0..100u32);
         if roll < 60 {
             scalar += 1;
+            classes.push(CLASS_SCALAR);
             let k = rng.gen_range(1..=5usize);
             requests.push(ReachRequest::scalar(
                 locations(&mut rng),
@@ -171,6 +216,7 @@ fn build_workload(world: &World, cohort: &FdvtDataset, seed: u64) -> Workload {
             ));
         } else if roll < 85 {
             nested += 1;
+            classes.push(CLASS_NESTED);
             let user = &cohort.users[rng.gen_range(0..cohort.len())];
             let mut sequence: Vec<InterestId> =
                 user.profile.interests.iter().copied().take(MAX_SWEEP).collect();
@@ -189,6 +235,7 @@ fn build_workload(world: &World, cohort: &FdvtDataset, seed: u64) -> Workload {
             ));
         } else {
             sampled += 1;
+            classes.push(CLASS_SAMPLED);
             let k = rng.gen_range(2..=3usize);
             requests.push(ReachRequest::sampled(
                 locations(&mut rng),
@@ -196,22 +243,29 @@ fn build_workload(world: &World, cohort: &FdvtDataset, seed: u64) -> Workload {
             ));
         }
     }
-    Workload { requests, scalar, nested, sampled }
+    Workload { requests, classes, scalar, nested, sampled }
 }
 
 /// One request per round trip; returns wall seconds and every answer.
+/// `per_class` records each request's wall latency into its class's
+/// histogram (classes parallel to `requests`).
 fn sequential_pass(
     client: &mut ReachClient,
     requests: &[ReachRequest],
     histogram: Option<&Histogram>,
+    per_class: Option<(&[&'static str], &ClassHistograms)>,
 ) -> (f64, Vec<ReachResponse>) {
     let mut answers = Vec::with_capacity(requests.len());
     let pass = Instant::now();
-    for request in requests {
+    for (i, request) in requests.iter().enumerate() {
         let start = Instant::now();
         let response = client.request(request).expect("sequential request");
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
         if let Some(h) = histogram {
-            h.observe(start.elapsed().as_nanos() as u64);
+            h.observe(elapsed_ns);
+        }
+        if let Some((classes, by_class)) = per_class {
+            by_class.observe(classes[i], elapsed_ns);
         }
         answers.push(response);
     }
@@ -257,6 +311,7 @@ struct LatencyStats {
     mean_ns: f64,
     p50_ns: u64,
     p90_ns: u64,
+    p95_ns: u64,
     p99_ns: u64,
 }
 
@@ -267,7 +322,62 @@ impl LatencyStats {
             mean_ns: histogram.mean().unwrap_or(0.0),
             p50_ns: percentile_ns(histogram, 0.50),
             p90_ns: percentile_ns(histogram, 0.90),
+            p95_ns: percentile_ns(histogram, 0.95),
             p99_ns: percentile_ns(histogram, 0.99),
+        }
+    }
+}
+
+/// Per-request-class wall-latency stats for one transport configuration.
+#[derive(Serialize)]
+struct ClassLatency {
+    scalar: LatencyStats,
+    nested: LatencyStats,
+    sampled: LatencyStats,
+}
+
+impl ClassLatency {
+    fn collect(snapshot: &uof_telemetry::RegistrySnapshot, prefix: &str) -> Self {
+        let get = |name: &str| {
+            LatencyStats::of(snapshot.histogram(name).expect("class histogram recorded"))
+        };
+        match prefix {
+            "loopback" => Self {
+                scalar: get("loadgen.loopback.scalar"),
+                nested: get("loadgen.loopback.nested"),
+                sampled: get("loadgen.loopback.sampled"),
+            },
+            _ => Self {
+                scalar: get("loadgen.emulated.scalar"),
+                nested: get("loadgen.emulated.nested"),
+                sampled: get("loadgen.emulated.sampled"),
+            },
+        }
+    }
+
+    /// Shape assertions for the emulated-RTT pass: every class saw its
+    /// share of the workload, no sequential request beat the injected
+    /// round trip, and the quantiles are monotone.
+    fn assert_rtt_shape(&self, mix: (usize, usize, usize)) {
+        let floor_ns = EMULATED_RTT_MS * 1_000_000;
+        for (name, stats, expect) in [
+            (CLASS_SCALAR, &self.scalar, mix.0),
+            (CLASS_NESTED, &self.nested, mix.1),
+            (CLASS_SAMPLED, &self.sampled, mix.2),
+        ] {
+            assert_eq!(stats.count as usize, expect, "{name}: one sample per request");
+            assert!(
+                stats.p50_ns >= floor_ns,
+                "{name}: sequential p50 {}ns beat the {EMULATED_RTT_MS}ms round trip",
+                stats.p50_ns
+            );
+            assert!(
+                stats.p50_ns <= stats.p95_ns && stats.p95_ns <= stats.p99_ns,
+                "{name}: non-monotone percentiles p50={} p95={} p99={}",
+                stats.p50_ns,
+                stats.p95_ns,
+                stats.p99_ns
+            );
         }
     }
 }
@@ -295,6 +405,10 @@ struct RoutedPass {
     requests: usize,
     secs: f64,
     rps: f64,
+    /// The same slice replayed in id-tagged pipeline batches through the
+    /// router — the configuration the traced acceptance run exercises.
+    pipelined_secs: f64,
+    pipelined_rps: f64,
     answers_equal_to_single_node: bool,
     latency: LatencyStats,
 }
@@ -319,6 +433,13 @@ struct Report {
     pipelined_speedup: f64,
     sequential_latency: LatencyStats,
     pipelined_batch_latency: LatencyStats,
+    /// Per-request wall latency by request class, bare loopback
+    /// (unasserted: compute-dominated by construction).
+    loopback_class_latency: ClassLatency,
+    /// Per-request wall latency by request class through the emulated RTT
+    /// (shape-asserted: counts match the mix, p50 ≥ RTT, quantiles
+    /// monotone).
+    emulated_class_latency: ClassLatency,
     loopback: LoopbackPass,
     routed: RoutedPass,
 }
@@ -338,11 +459,15 @@ fn main() {
         workload.sampled
     );
 
+    // Server-side telemetry inherits the environment: a plain bench run
+    // keeps it disabled (zero overhead), while a traced run
+    // (`UOF_TELEMETRY_TRACE_PATH=…`) gets server/router frame spans joined
+    // to the client's trace — the input `xtask trace-report` reconstructs.
     let server_config = ServerConfig {
         rate_limit: unthrottled(),
         cache: reach_cache::CacheConfig::default(),
         index: fbsim_population::index::IndexConfig::enabled(),
-        telemetry: Some(TelemetryConfig::disabled()),
+        telemetry: Some(TelemetryConfig::from_env()),
         ..ServerConfig::default()
     };
     let server =
@@ -353,15 +478,23 @@ fn main() {
     let sequential_latency = telemetry.registry().latency_histogram("loadgen.request.sequential");
     let batch_latency = telemetry.registry().latency_histogram("loadgen.batch.pipelined");
     let routed_latency = telemetry.registry().latency_histogram("loadgen.request.routed");
+    let routed_batch_latency = telemetry.registry().latency_histogram("loadgen.batch.routed");
+    let loopback_classes = ClassHistograms::new(&telemetry, "loopback");
+    let emulated_classes = ClassHistograms::new(&telemetry, "emulated");
 
     // Warm pass: caches and the sampled index absorb the cold computes, so
     // every timed pass measures the same steady state.
     eprintln!("[run] warm-up pass…");
-    let (_, reference) = sequential_pass(&mut direct, &workload.requests, None);
+    let (_, reference) = sequential_pass(&mut direct, &workload.requests, None, None);
 
     // --- Bare loopback: reported for transparency, not asserted ----------
     eprintln!("[run] loopback: sequential then batches of {BATCH}…");
-    let (loop_seq_secs, loop_seq) = sequential_pass(&mut direct, &workload.requests, None);
+    let (loop_seq_secs, loop_seq) = sequential_pass(
+        &mut direct,
+        &workload.requests,
+        None,
+        Some((&workload.classes, &loopback_classes)),
+    );
     let (loop_pipe_secs, loop_pipe) = pipelined_pass(&mut direct, &workload.requests, None);
     assert_eq!(reference, loop_seq, "loopback sequential answers must be stable");
     assert_eq!(reference, loop_pipe, "loopback pipelined answers must match sequential");
@@ -370,8 +503,12 @@ fn main() {
     eprintln!("[run] emulated {EMULATED_RTT_MS}ms RTT: sequential then batches of {BATCH}…");
     let proxy = rtt_proxy(server.addr(), Duration::from_millis(EMULATED_RTT_MS) / 2);
     let mut remote = ReachClient::connect(proxy).expect("connect proxy");
-    let (sequential_secs, remote_seq) =
-        sequential_pass(&mut remote, &workload.requests, Some(&sequential_latency));
+    let (sequential_secs, remote_seq) = sequential_pass(
+        &mut remote,
+        &workload.requests,
+        Some(&sequential_latency),
+        Some((&workload.classes, &emulated_classes)),
+    );
     let (pipelined_secs, remote_pipe) =
         pipelined_pass(&mut remote, &workload.requests, Some(&batch_latency));
     assert_eq!(reference, remote_seq, "proxied sequential answers must match direct answers");
@@ -403,7 +540,7 @@ fn main() {
         backends.iter().map(ReachServer::addr).collect(),
         RouterConfig {
             rate_limit: unthrottled(),
-            telemetry: Some(TelemetryConfig::disabled()),
+            telemetry: Some(TelemetryConfig::from_env()),
             ..RouterConfig::default()
         },
     )
@@ -419,9 +556,24 @@ fn main() {
     }
     let routed_secs = routed_start.elapsed().as_secs_f64();
 
+    // The same slice again, pipelined through the router — the routed +
+    // pipelined configuration whose trace the acceptance run feeds to
+    // `xtask trace-report` (every batch fans out to both shards per
+    // request, so the trace carries one client.request child per shard).
+    let (routed_pipe_secs, routed_pipe) =
+        pipelined_pass(&mut routed_client, routed_slice, Some(&routed_batch_latency));
+    assert_eq!(
+        &routed_pipe[..],
+        &reference[..routed_slice.len()],
+        "routed pipelined answers must equal the single node's"
+    );
+
     let snapshot = telemetry.snapshot();
     let histogram =
         |name: &str| LatencyStats::of(snapshot.histogram(name).expect("histogram recorded"));
+    let loopback_class_latency = ClassLatency::collect(&snapshot, "loopback");
+    let emulated_class_latency = ClassLatency::collect(&snapshot, "emulated");
+    emulated_class_latency.assert_rtt_shape((workload.scalar, workload.nested, workload.sampled));
     let report = Report {
         bench: "service",
         scale: format!("{scale:?}").to_lowercase(),
@@ -443,6 +595,8 @@ fn main() {
         pipelined_speedup: speedup,
         sequential_latency: histogram("loadgen.request.sequential"),
         pipelined_batch_latency: histogram("loadgen.batch.pipelined"),
+        loopback_class_latency,
+        emulated_class_latency,
         loopback: LoopbackPass {
             sequential_secs: loop_seq_secs,
             pipelined_secs: loop_pipe_secs,
@@ -453,6 +607,8 @@ fn main() {
             requests: routed_slice.len(),
             secs: routed_secs,
             rps: routed_slice.len() as f64 / routed_secs,
+            pipelined_secs: routed_pipe_secs,
+            pipelined_rps: routed_slice.len() as f64 / routed_pipe_secs,
             answers_equal_to_single_node: true,
             latency: histogram("loadgen.request.routed"),
         },

@@ -12,10 +12,11 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use reach_cache::CacheStats;
-use uof_telemetry::RegistrySnapshot;
+use uof_telemetry::{RegistrySnapshot, SpanGuard, Telemetry, TraceContext};
 
 use crate::proto::{
     decode_response_frame, encode, FrameCodec, FrameError, ReachRequest, ReachResponse,
+    ResponseFrame, ServerTiming,
 };
 use crate::server::MAX_RETRY_BACKOFF;
 
@@ -133,6 +134,24 @@ pub struct ReachClient {
     /// Set when a request was abandoned mid-response; see
     /// [`ClientError::Desynchronized`].
     desynced: bool,
+    /// Where `client.request` spans record. Always the process-global
+    /// telemetry: a client only traces when the process has runtime
+    /// tracing switched on, so untraced runs pay one relaxed load per
+    /// request.
+    telemetry: &'static Telemetry,
+    /// Trace context adopted as the parent of every outgoing
+    /// `client.request` span — set by a router so its backend requests
+    /// land in the caller's trace; `None` starts fresh root traces.
+    trace_parent: Option<TraceContext>,
+    /// Constant fields stamped onto every `client.request` span (e.g. the
+    /// shard index a router assigned this backend connection).
+    trace_labels: Vec<(&'static str, u64)>,
+    /// One span per in-flight wire request, by id; settled (and emitted)
+    /// when the matching response frame arrives.
+    pending_spans: Vec<(u64, SpanGuard<'static>)>,
+    /// The server-timing block echoed on the most recent response that
+    /// carried one (only trace-context-tagged requests are echoed).
+    last_server_timing: Option<ServerTiming>,
     /// Maximum rate-limit retries per request.
     pub max_retries: u32,
     /// Upper bound on any single backoff sleep. Server-suggested waits are
@@ -157,6 +176,11 @@ impl ReachClient {
             codec: FrameCodec::new(),
             next_id: 1,
             desynced: false,
+            telemetry: uof_telemetry::global(),
+            trace_parent: None,
+            trace_labels: Vec::new(),
+            pending_spans: Vec::new(),
+            last_server_timing: None,
             max_retries: 8,
             max_backoff: DEFAULT_MAX_BACKOFF,
         })
@@ -319,8 +343,69 @@ impl ReachClient {
     /// See [`ClientError`].
     pub fn send(&mut self, request: &ReachRequest) -> Result<u64, ClientError> {
         let id = self.fresh_id();
-        self.stream.write_all(&encode(&request.clone().with_id(id)))?;
+        let wire = self.tagged(request, id);
+        self.stream.write_all(&wire)?;
         Ok(id)
+    }
+
+    /// Adopts `parent` as the trace context every subsequent request's
+    /// `client.request` span is parented under (and propagated to the
+    /// server in-frame). A router sets this per fan-out so backend hops
+    /// land in the caller's trace; `None` reverts to fresh root traces.
+    pub fn set_trace_parent(&mut self, parent: Option<TraceContext>) {
+        self.trace_parent = parent;
+    }
+
+    /// Stamps a constant `key = value` field onto every subsequent
+    /// `client.request` span — e.g. the shard index of the backend this
+    /// connection serves, so a reconstructed trace can name the straggler.
+    pub fn label_trace(&mut self, key: &'static str, value: u64) {
+        self.trace_labels.retain(|&(k, _)| k != key);
+        self.trace_labels.push((key, value));
+    }
+
+    /// The server-timing block echoed on the most recent response that
+    /// carried one. Only requests tagged with a trace context are echoed,
+    /// so this stays `None` unless runtime tracing is on.
+    pub fn last_server_timing(&self) -> Option<ServerTiming> {
+        self.last_server_timing
+    }
+
+    /// Encodes `request` tagged with `id` — and, when the process is
+    /// tracing, opens a `client.request` span covering the request's whole
+    /// wire lifetime and tags the frame with its trace context so the
+    /// server's `server.frame` span joins the same trace.
+    fn tagged(&mut self, request: &ReachRequest, id: u64) -> Vec<u8> {
+        let mut tagged = request.clone().with_id(id);
+        if self.telemetry.is_tracing() {
+            let mut builder = self.telemetry.span("client.request").child_of(self.trace_parent);
+            for &(key, value) in &self.trace_labels {
+                builder = builder.field(key, value.into());
+            }
+            let span = builder.field("id", id.into()).start();
+            tagged = tagged.with_trace(span.trace_context());
+            self.pending_spans.push((id, span));
+        }
+        encode(&tagged)
+    }
+
+    /// Ends (and thereby emits) the span of the wire request a response
+    /// frame answered, folding the server's echoed timing into it first.
+    /// Id-less frames settle the oldest in-flight span — the in-order
+    /// contract id-less servers follow.
+    fn settle_span(&mut self, id: Option<u64>, timing: Option<&ServerTiming>) {
+        let position = match id {
+            Some(got) => self.pending_spans.iter().position(|&(p, _)| p == got),
+            None => (!self.pending_spans.is_empty()).then_some(0),
+        };
+        let Some(position) = position else { return };
+        let (_, mut span) = self.pending_spans.remove(position);
+        if let Some(t) = timing {
+            span.annotate("server_queue_ns", t.queue_ns.into());
+            span.annotate("server_handler_ns", t.handler_ns.into());
+            span.annotate("server_engine_ns", t.engine_ns.into());
+            span.annotate("server_cache_hit", t.cache_hit.into());
+        }
     }
 
     /// Reads the response to a previously [`ReachClient::send`]-issued id,
@@ -382,7 +467,8 @@ impl ReachClient {
         for (slot, request) in requests.iter().enumerate() {
             let id = self.fresh_id();
             pending.push((id, slot));
-            wire.extend_from_slice(&encode(&request.clone().with_id(id)));
+            let frame = self.tagged(request, id);
+            wire.extend_from_slice(&frame);
         }
         self.stream.write_all(&wire)?;
         let mut rounds = 0u32;
@@ -426,7 +512,8 @@ impl ReachClient {
             for &(slot, _) in &rate_limited {
                 let id = self.fresh_id();
                 pending.push((id, slot));
-                wire.extend_from_slice(&encode(&requests[slot].clone().with_id(id)));
+                let frame = self.tagged(&requests[slot], id);
+                wire.extend_from_slice(&frame);
             }
             self.stream.write_all(&wire)?;
         }
@@ -461,10 +548,18 @@ impl ReachClient {
     }
 
     fn read_response(&mut self) -> Result<(Option<u64>, ReachResponse), ClientError> {
-        let mut buf = [0u8; 4096];
+        // Sized for a full pipelined response batch (the server answers a
+        // 64-deep batch with one write of ~10 KiB when timing echoes are
+        // on); a smaller buffer splits that into extra read syscalls.
+        let mut buf = [0u8; 16384];
         loop {
             if let Some(frame) = self.codec.next_frame()? {
-                return Ok(decode_response_frame(&frame)?);
+                let ResponseFrame { id, server_timing, response } = decode_response_frame(&frame)?;
+                self.settle_span(id, server_timing.as_ref());
+                if server_timing.is_some() {
+                    self.last_server_timing = server_timing;
+                }
+                return Ok((id, response));
             }
             let n = match self.stream.read(&mut buf) {
                 Ok(n) => n,

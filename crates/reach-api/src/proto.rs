@@ -8,6 +8,7 @@
 
 use bytes::{Buf, BytesMut};
 use serde::{Deserialize, Serialize};
+use uof_telemetry::TraceContext;
 
 /// Protocol version this build speaks.
 pub const PROTOCOL_VERSION: u32 = 1;
@@ -72,6 +73,18 @@ pub struct ReachRequest {
     /// at the router, after the merge).
     #[serde(default)]
     pub shard: Option<bool>,
+    /// Tracing extension: the sender's [`TraceContext`], so spans recorded
+    /// server-side land in the caller's trace as children of the request
+    /// span. Strictly observational — the server answers identically with
+    /// or without it — and optional on the wire like every other
+    /// extension: absent keys decode as `None`, so v1 and v2-id-only
+    /// frames remain valid. A request that carries a context is also the
+    /// only kind that gets a server-timing block echoed on its response
+    /// (see [`encode_response_frame`]); clients that never send a context
+    /// never see a tracing byte. Rides as the compact pair
+    /// `[trace_id, parent_span_id]` ([`TraceContext`]'s wire form).
+    #[serde(default)]
+    pub trace: Option<TraceContext>,
 }
 
 impl ReachRequest {
@@ -87,6 +100,7 @@ impl ReachRequest {
             sampled: None,
             id: None,
             shard: None,
+            trace: None,
         }
     }
 
@@ -102,6 +116,7 @@ impl ReachRequest {
             sampled: None,
             id: None,
             shard: None,
+            trace: None,
         }
     }
 
@@ -117,6 +132,7 @@ impl ReachRequest {
             sampled: None,
             id: None,
             shard: None,
+            trace: None,
         }
     }
 
@@ -132,6 +148,7 @@ impl ReachRequest {
             sampled: None,
             id: None,
             shard: None,
+            trace: None,
         }
     }
 
@@ -149,6 +166,7 @@ impl ReachRequest {
             sampled: Some(true),
             id: None,
             shard: None,
+            trace: None,
         }
     }
 
@@ -163,6 +181,12 @@ impl ReachRequest {
     /// and [`ReachRequest::sampled`]).
     pub fn with_shard(mut self) -> Self {
         self.shard = Some(true);
+        self
+    }
+
+    /// Attaches (or clears) the sender's trace context (builder style).
+    pub fn with_trace(mut self, trace: Option<TraceContext>) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -351,39 +375,244 @@ pub fn decode<T: for<'de> Deserialize<'de>>(frame: &[u8]) -> Result<T, FrameErro
     serde_json::from_slice(frame).map_err(|e| FrameError::Malformed(e.to_string()))
 }
 
-/// Probe for the optional response id: decodes any response object while
-/// ignoring every other key, so the body can be decoded separately as a
-/// plain [`ReachResponse`].
+/// Where a request's server-side time went, echoed on the response of any
+/// request that carried a [`TraceContext`].
+///
+/// All figures are nanoseconds of server wall clock for this one frame.
+/// Purely observational — it is spliced into the response frame the same
+/// way the pipelining id is, so clients that never sent a context receive
+/// byte-identical frames with no tracing keys at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerTiming {
+    /// Time the decoded frame waited behind earlier frames of the same
+    /// read batch before its handler started.
+    pub queue_ns: u64,
+    /// Total handler time (validation + cache + engine + encoding the
+    /// answer's payload).
+    pub handler_ns: u64,
+    /// Whether the answer was produced without any engine compute (query
+    /// cache hit or non-compute opcode).
+    pub cache_hit: bool,
+    /// Time spent inside engine compute closures (0 on a cache hit).
+    pub engine_ns: u64,
+}
+
+impl Serialize for ServerTiming {
+    fn to_value(&self) -> serde::Value {
+        // Compact wire form, mirroring the trace-context pair: a fixed
+        // four-element array instead of a named object. The echo rides on
+        // every traced response, so its bytes are warm-path bytes — the
+        // array form is a third the size of the named one.
+        serde::Value::Array(vec![
+            serde::Value::U64(self.queue_ns),
+            serde::Value::U64(self.handler_ns),
+            serde::Value::U64(u64::from(self.cache_hit)),
+            serde::Value::U64(self.engine_ns),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for ServerTiming {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::Array(items) if items.len() == 4 => Ok(ServerTiming {
+                queue_ns: u64::from_value(&items[0])?,
+                handler_ns: u64::from_value(&items[1])?,
+                cache_hit: u64::from_value(&items[2])? != 0,
+                engine_ns: u64::from_value(&items[3])?,
+            }),
+            // Named-object form accepted for hand-written frames and
+            // pre-compaction peers.
+            serde::Value::Object(_) => Ok(ServerTiming {
+                queue_ns: u64::from_value(serde::field(value, "queue_ns")?)?,
+                handler_ns: u64::from_value(serde::field(value, "handler_ns")?)?,
+                cache_hit: bool::from_value(serde::field(value, "cache_hit")?)?,
+                engine_ns: u64::from_value(serde::field(value, "engine_ns")?)?,
+            }),
+            other => Err(serde::Error::msg(format!(
+                "expected [queue_ns, handler_ns, cache_hit, engine_ns] or a \
+                 server-timing object, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Probe for the optional spliced response extensions: decodes any
+/// response object while ignoring every other key, so the body can be
+/// decoded separately as a plain [`ReachResponse`].
 #[derive(Deserialize)]
-struct IdProbe {
+struct ExtensionsProbe {
     #[serde(default)]
     id: Option<u64>,
+    #[serde(default)]
+    st: Option<ServerTiming>,
+    #[serde(default)]
+    server_timing: Option<ServerTiming>,
 }
 
-/// Encodes a response frame, echoing the request's pipelining id when
-/// present. The id rides as an extra `"id"` key spliced into the response
-/// object — internally-tagged decoding ignores unknown keys, so pre-id
-/// clients still decode the frame, and id-less requests get byte-identical
-/// v1 frames.
-pub fn encode_response_frame(id: Option<u64>, response: &ReachResponse) -> Vec<u8> {
-    let mut line = encode(response);
-    if let Some(id) = id {
-        debug_assert_eq!(line.first(), Some(&b'{'));
-        let inject = format!("\"id\":{id},");
-        line.splice(1..1, inject.into_bytes());
+/// A decoded response frame: the body plus the optional spliced
+/// extensions (pipelining id, server-timing echo).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseFrame {
+    /// Echoed pipelining id, when the request carried one.
+    pub id: Option<u64>,
+    /// Server-timing echo, when the request carried a trace context.
+    pub server_timing: Option<ServerTiming>,
+    /// The response body.
+    pub response: ReachResponse,
+}
+
+/// Encodes a response frame, echoing the request's pipelining id and — for
+/// requests that sent a trace context — the server-timing block. Both ride
+/// as extra keys spliced into the response object: internally-tagged
+/// decoding ignores unknown keys, so pre-id clients still decode the
+/// frame, and requests without the extensions get byte-identical v1
+/// frames (no tracing bytes ever reach a client that didn't opt in).
+pub fn encode_response_frame(
+    id: Option<u64>,
+    timing: Option<&ServerTiming>,
+    response: &ReachResponse,
+) -> Vec<u8> {
+    let line = encode(response);
+    if id.is_none() && timing.is_none() {
+        return line;
     }
-    line
+    debug_assert_eq!(line.first(), Some(&b'{'));
+    // The splice is assembled by hand rather than through `format!`: it
+    // rides on every pipelined response (and every traced one), and the
+    // fmt machinery plus its per-extension allocations measurably tax the
+    // warm path. The exact byte shape produced here is what
+    // `decode_spliced_fast` pattern-matches on the client side.
+    let mut out = Vec::with_capacity(line.len() + 112);
+    out.push(b'{');
+    if let Some(id) = id {
+        out.extend_from_slice(b"\"id\":");
+        push_u64(&mut out, id);
+        out.push(b',');
+    }
+    if let Some(t) = timing {
+        out.extend_from_slice(b"\"st\":[");
+        push_u64(&mut out, t.queue_ns);
+        out.push(b',');
+        push_u64(&mut out, t.handler_ns);
+        out.push(b',');
+        out.push(if t.cache_hit { b'1' } else { b'0' });
+        out.push(b',');
+        push_u64(&mut out, t.engine_ns);
+        out.extend_from_slice(b"],");
+    }
+    out.extend_from_slice(&line[1..]);
+    out
 }
 
-/// Decodes a response frame into its optional echoed id and body.
+/// Appends `n` in decimal ASCII.
+fn push_u64(out: &mut Vec<u8>, mut n: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[i..]);
+}
+
+/// Consumes `lit` at `pos`, returning the position after it.
+fn eat(frame: &[u8], pos: usize, lit: &[u8]) -> Option<usize> {
+    frame[pos..].starts_with(lit).then_some(pos + lit.len())
+}
+
+/// Whether `needle` occurs anywhere in `hay`.
+fn contains(hay: &[u8], needle: &[u8]) -> bool {
+    hay.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Parses a decimal `u64` starting at `pos` (at least one digit, no
+/// overflow), returning the value and the position after it.
+fn scan_u64(frame: &[u8], mut pos: usize) -> Option<(u64, usize)> {
+    let start = pos;
+    let mut n: u64 = 0;
+    while let Some(&b @ b'0'..=b'9') = frame.get(pos) {
+        n = n.checked_mul(10)?.checked_add(u64::from(b - b'0'))?;
+        pos += 1;
+    }
+    (pos > start).then_some((n, pos))
+}
+
+/// Fast path for frames our own [`encode_response_frame`] produced: the
+/// extensions are spliced at the front of the object in a fixed order and
+/// byte shape, so they can be stripped with one linear scan and the body
+/// parsed by serde exactly once — instead of the general path's two full
+/// parses (extension probe + body), which costs real time on every
+/// pipelined warm-cache response. Any frame that doesn't match the shape
+/// (no extensions, different key order, whitespace, an overflowing digit
+/// run) returns `None` and takes the general path; behaviour is identical
+/// either way.
+fn decode_spliced_fast(frame: &[u8]) -> Option<ResponseFrame> {
+    let mut pos = eat(frame, 0, b"{")?;
+    let mut id = None;
+    if let Some(p) = eat(frame, pos, b"\"id\":") {
+        let (n, p) = scan_u64(frame, p)?;
+        pos = eat(frame, p, b",")?;
+        id = Some(n);
+    }
+    let mut server_timing = None;
+    if let Some(p) = eat(frame, pos, b"\"st\":[") {
+        let (queue_ns, p) = scan_u64(frame, p)?;
+        let p = eat(frame, p, b",")?;
+        let (handler_ns, p) = scan_u64(frame, p)?;
+        let p = eat(frame, p, b",")?;
+        let (cache_hit, p) = match frame.get(p) {
+            Some(b'0') => (false, p + 1),
+            Some(b'1') => (true, p + 1),
+            _ => return None,
+        };
+        let p = eat(frame, p, b",")?;
+        let (engine_ns, p) = scan_u64(frame, p)?;
+        pos = eat(frame, p, b"],")?;
+        server_timing = Some(ServerTiming { queue_ns, handler_ns, cache_hit, engine_ns });
+    }
+    if id.is_none() && server_timing.is_none() {
+        return None;
+    }
+    // The remainder must immediately open the body's first key; anything
+    // else (whitespace, a second splice) is not our server's byte shape.
+    if frame.get(pos) != Some(&b'"') {
+        return None;
+    }
+    // The general path extracts extension keys from *anywhere* in the
+    // object; bail out if one could still be lurking in the remainder so
+    // the two paths can never disagree (a false hit inside a string value
+    // merely costs the fallback parse).
+    let rest = &frame[pos..];
+    if contains(rest, b"\"id\":")
+        || contains(rest, b"\"st\":")
+        || contains(rest, b"\"server_timing\":")
+    {
+        return None;
+    }
+    let mut body = Vec::with_capacity(frame.len() + 1 - pos);
+    body.push(b'{');
+    body.extend_from_slice(&frame[pos..]);
+    let response = decode::<ReachResponse>(&body).ok()?;
+    Some(ResponseFrame { id, server_timing, response })
+}
+
+/// Decodes a response frame into its body and optional extensions.
 ///
 /// # Errors
 ///
 /// [`FrameError::Malformed`] with the serde error text.
-pub fn decode_response_frame(frame: &[u8]) -> Result<(Option<u64>, ReachResponse), FrameError> {
-    let probe: IdProbe = decode(frame)?;
+pub fn decode_response_frame(frame: &[u8]) -> Result<ResponseFrame, FrameError> {
+    if let Some(parsed) = decode_spliced_fast(frame) {
+        return Ok(parsed);
+    }
+    let probe: ExtensionsProbe = decode(frame)?;
     let response: ReachResponse = decode(frame)?;
-    Ok((probe.id, response))
+    Ok(ResponseFrame { id: probe.id, server_timing: probe.st.or(probe.server_timing), response })
 }
 
 #[cfg(test)]
@@ -508,21 +737,125 @@ mod tests {
     fn response_frame_id_echo_round_trips() {
         let response =
             ReachResponse::Reach { reported: 1_000, floored: false, too_narrow_warning: false };
-        // No id: byte-identical to the v1 encoding.
-        assert_eq!(encode_response_frame(None, &response), encode(&response));
+        // No extensions: byte-identical to the v1 encoding.
+        assert_eq!(encode_response_frame(None, None, &response), encode(&response));
         // With id: both halves decode from the same frame.
-        let frame = encode_response_frame(Some(7), &response);
-        let (id, back) = decode_response_frame(&frame[..frame.len() - 1]).unwrap();
-        assert_eq!(id, Some(7));
-        assert_eq!(back, response);
+        let frame = encode_response_frame(Some(7), None, &response);
+        let decoded = decode_response_frame(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(decoded.id, Some(7));
+        assert_eq!(decoded.server_timing, None);
+        assert_eq!(decoded.response, response);
         // A pre-id decoder ignores the spliced key entirely.
         let old: ReachResponse = decode(&frame[..frame.len() - 1]).unwrap();
         assert_eq!(old, response);
         // And an id-less v1 frame decodes with id None.
         let v1 = encode(&response);
-        let (id, back) = decode_response_frame(&v1[..v1.len() - 1]).unwrap();
-        assert_eq!(id, None);
-        assert_eq!(back, response);
+        let decoded = decode_response_frame(&v1[..v1.len() - 1]).unwrap();
+        assert_eq!(decoded.id, None);
+        assert_eq!(decoded.response, response);
+    }
+
+    #[test]
+    fn server_timing_echo_round_trips_and_stays_opt_in() {
+        let response =
+            ReachResponse::Reach { reported: 500, floored: false, too_narrow_warning: false };
+        let timing =
+            ServerTiming { queue_ns: 1_200, handler_ns: 90_000, cache_hit: true, engine_ns: 0 };
+        // With both extensions: id, timing, and body all decode.
+        let frame = encode_response_frame(Some(3), Some(&timing), &response);
+        let decoded = decode_response_frame(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(decoded.id, Some(3));
+        assert_eq!(decoded.server_timing, Some(timing));
+        assert_eq!(decoded.response, response);
+        // A decoder that predates the extension still reads the body.
+        let old: ReachResponse = decode(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(old, response);
+        // Timing without an id also round-trips (id-less traced client).
+        let frame = encode_response_frame(None, Some(&timing), &response);
+        let decoded = decode_response_frame(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(decoded.id, None);
+        assert_eq!(decoded.server_timing, Some(timing));
+        // No trace context sent → not one tracing byte in the frame.
+        let plain = encode_response_frame(Some(9), None, &response);
+        let text = String::from_utf8(plain).unwrap();
+        assert!(!text.contains("server_timing"), "{text}");
+        assert!(!text.contains("trace"), "{text}");
+    }
+
+    #[test]
+    fn spliced_fast_path_agrees_with_general_decode() {
+        let response =
+            ReachResponse::Reach { reported: 9_000, floored: true, too_narrow_warning: false };
+        let timing = ServerTiming {
+            queue_ns: 5,
+            handler_ns: u64::MAX,
+            cache_hit: false,
+            engine_ns: 1_234_567_890,
+        };
+        // Every splice combination our server can emit decodes identically
+        // through the fast path and the two-parse probe path.
+        for (id, timing) in
+            [(Some(7), Some(&timing)), (Some(u64::MAX), None), (None, Some(&timing)), (None, None)]
+        {
+            let frame = encode_response_frame(id, timing, &response);
+            let frame = &frame[..frame.len() - 1];
+            let fast = decode_spliced_fast(frame);
+            let probe: ExtensionsProbe = decode(frame).unwrap();
+            let body: ReachResponse = decode(frame).unwrap();
+            let general = ResponseFrame {
+                id: probe.id,
+                server_timing: probe.st.or(probe.server_timing),
+                response: body,
+            };
+            if id.is_some() || timing.is_some() {
+                assert_eq!(fast.as_ref(), Some(&general));
+            } else {
+                assert_eq!(fast, None, "extension-free frames take the general path");
+            }
+            assert_eq!(decode_response_frame(frame).unwrap(), general);
+        }
+        // Extensions in an order our server never produces: the fast path
+        // must bail (not silently drop the out-of-place key) and the
+        // general path still extracts both.
+        let reordered = br#"{"server_timing":{"queue_ns":1,"handler_ns":2,"cache_hit":true,"engine_ns":3},"id":7,"kind":"reach","reported":9000,"floored":true,"too_narrow_warning":false}"#;
+        assert_eq!(decode_spliced_fast(reordered), None);
+        let decoded = decode_response_frame(reordered).unwrap();
+        assert_eq!(decoded.id, Some(7));
+        assert_eq!(
+            decoded.server_timing,
+            Some(ServerTiming { queue_ns: 1, handler_ns: 2, cache_hit: true, engine_ns: 3 })
+        );
+        // Whitespace (not our byte shape) also falls back — and decodes.
+        let spaced = br#"{"id": 7, "kind": "reach", "reported": 9000, "floored": true, "too_narrow_warning": false}"#;
+        assert_eq!(decode_spliced_fast(spaced), None);
+        assert_eq!(decode_response_frame(spaced).unwrap().id, Some(7));
+    }
+
+    #[test]
+    fn trace_context_request_field_round_trips_and_defaults_to_none() {
+        use uof_telemetry::TraceContext;
+        let ctx = TraceContext { trace_id: 0xABCD, parent_span_id: 7 };
+        let traced = request().with_trace(Some(ctx));
+        assert_eq!(traced.trace, Some(ctx));
+        let frame = encode(&traced);
+        // The context rides as the compact pair on the wire…
+        let text = String::from_utf8(frame.clone()).unwrap();
+        assert!(text.contains("\"trace\":[43981,7]"), "{text}");
+        let back: ReachRequest = decode(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(back.trace, Some(ctx));
+        // …and the named-object form a hand-rolled client might send is
+        // accepted on decode too.
+        let raw = br#"{"v":1,"locations":["US"],"interests":[0,5],"trace":{"trace_id":43981,"parent_span_id":7}}"#;
+        let named: ReachRequest = decode(raw).unwrap();
+        assert_eq!(named.trace, Some(ctx));
+        // v1 and v2-id-only frames decode with trace None.
+        let raw = br#"{"v":1,"locations":["US"],"interests":[0,5]}"#;
+        let request: ReachRequest = decode(raw).unwrap();
+        assert_eq!(request.trace, None);
+        let raw = br#"{"v":1,"locations":["US"],"interests":[0,5],"id":12}"#;
+        let request: ReachRequest = decode(raw).unwrap();
+        assert_eq!(request.id, Some(12));
+        assert_eq!(request.trace, None);
     }
 
     #[test]
@@ -536,10 +869,10 @@ mod tests {
                 vec![123.456f64.to_bits()],
             ],
         };
-        let frame = encode_response_frame(Some(9), &response);
-        let (id, back) = decode_response_frame(&frame[..frame.len() - 1]).unwrap();
-        assert_eq!(id, Some(9));
-        assert_eq!(back, response);
+        let frame = encode_response_frame(Some(9), None, &response);
+        let decoded = decode_response_frame(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(decoded.id, Some(9));
+        assert_eq!(decoded.response, response);
         let shard_request = ReachRequest::scalar(vec!["US".into()], vec![1]).with_shard();
         assert_eq!(shard_request.shard, Some(true));
         let frame = encode(&shard_request);

@@ -22,7 +22,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fbsim_adplatform::reach::{AdsManagerApi, ReportingEra};
 use fbsim_adplatform::targeting::TargetingSpec;
@@ -31,14 +31,14 @@ use fbsim_population::reach::CountryFilter;
 use fbsim_population::{InterestId, World, CHUNK_USERS};
 use parking_lot::Mutex;
 use reach_cache::key::canonical_interests;
-use uof_telemetry::{Telemetry, TelemetryConfig};
+use uof_telemetry::{RegistrySnapshot, Telemetry, TelemetryConfig, TraceContext};
 
 use crate::client::{ClientError, ReachClient, ShardPartials};
 use crate::proto::{
-    decode, encode, encode_response_frame, FrameCodec, ReachPoint, ReachRequest, ReachResponse,
-    PROTOCOL_VERSION,
+    decode, encode, encode_response_frame, FrameCodec, FrameError, ReachPoint, ReachRequest,
+    ReachResponse, ServerTiming, PROTOCOL_VERSION,
 };
-use crate::server::{opcode_names, RateLimitConfig, TokenBucket};
+use crate::server::{saturating_ns, ConnectionMetrics, RateLimitConfig, TokenBucket};
 
 #[cfg(doc)]
 use fbsim_population::shard::{ShardAssignment, ShardSpec};
@@ -230,9 +230,19 @@ fn handle_connection(
     // different clients never interleave on a backend socket.
     let mut clients: Option<Vec<ReachClient>> =
         backends.iter().map(|&addr| ReachClient::connect(addr)).collect::<Result<Vec<_>, _>>().ok();
+    // Stamp each backend connection with its shard index: every
+    // `client.request` span the fan-out emits then names its shard, so a
+    // reconstructed trace can attribute the critical path to a straggler.
+    if let Some(clients) = clients.as_mut() {
+        for (shard, client) in clients.iter_mut().enumerate() {
+            client.label_trace("shard", shard as u64);
+        }
+    }
     let mut codec = FrameCodec::new();
     let mut bucket = TokenBucket::new(config.rate_limit);
-    let mut buf = [0u8; 4096];
+    let metrics = ConnectionMetrics::new("router.frame");
+    // See the server: sized for a full pipelined batch in one read.
+    let mut buf = [0u8; 16384];
     loop {
         if stop.load(Ordering::Relaxed) {
             return Ok(());
@@ -248,27 +258,39 @@ fn handle_connection(
             }
             Err(e) => return Err(e),
         }
-        let mut out: Vec<u8> = Vec::new();
+        // Same stamped drain as the single-node server: decode first, so a
+        // frame's measured queue wait covers the time it sat behind earlier
+        // frames of the same pipelined batch.
+        let mut pending: Vec<(Instant, Result<ReachRequest, FrameError>)> = Vec::new();
         let mut oversized = false;
         loop {
-            let frame = match codec.next_frame() {
-                Ok(Some(frame)) => frame,
+            match codec.next_frame() {
+                Ok(Some(frame)) => pending.push((Instant::now(), decode::<ReachRequest>(&frame))),
                 Ok(None) => break,
                 Err(_) => {
                     telemetry.count("reach.requests.oversized", 1);
-                    out.extend_from_slice(&encode(&ReachResponse::Error {
-                        message: "frame too large".into(),
-                    }));
                     oversized = true;
                     break;
                 }
-            };
-            let (id, response) = match decode::<ReachRequest>(&frame) {
+            }
+        }
+        let mut out: Vec<u8> = Vec::new();
+        for (decoded_at, parsed) in pending.drain(..) {
+            let (id, timing, response) = match parsed {
                 Err(e) => {
                     telemetry.count("reach.requests.error", 1);
-                    (None, ReachResponse::Error { message: e.to_string() })
+                    (None, None, ReachResponse::Error { message: e.to_string() })
                 }
                 Ok(request) => {
+                    let queue_ns = saturating_ns(decoded_at.elapsed());
+                    // Starts at the frame's decode stamp (no extra clock
+                    // read); see the server's frame span.
+                    let frame_span = telemetry
+                        .span_via(&metrics.frame_span)
+                        .child_of(request.trace)
+                        .field("queue_ns", queue_ns.into())
+                        .start_at(decoded_at);
+                    let handler_start = Instant::now();
                     let response = match bucket.try_take() {
                         Err(wait) => {
                             telemetry.count("reach.requests.rate_limited", 1);
@@ -277,7 +299,15 @@ fn handle_connection(
                             }
                         }
                         Ok(()) => {
-                            let r = route_instrumented(&api, clients.as_mut(), telemetry, &request);
+                            let r = route_instrumented(
+                                &api,
+                                clients.as_mut(),
+                                telemetry,
+                                &metrics,
+                                &request,
+                                frame_span.trace_context(),
+                                handler_start,
+                            );
                             if !matches!(
                                 r,
                                 ReachResponse::Error { .. } | ReachResponse::RateLimited { .. }
@@ -287,10 +317,26 @@ fn handle_connection(
                             r
                         }
                     };
-                    (request.id, response)
+                    // The router runs no engine and keeps no query cache;
+                    // its echo carries only the queue/handler split. The
+                    // per-shard engine time lives in the backend hops'
+                    // spans and echoes.
+                    let timing = request.trace.is_some().then(|| ServerTiming {
+                        queue_ns,
+                        handler_ns: saturating_ns(handler_start.elapsed()),
+                        cache_hit: false,
+                        engine_ns: 0,
+                    });
+                    drop(frame_span);
+                    (request.id, timing, response)
                 }
             };
-            out.extend_from_slice(&encode_response_frame(id, &response));
+            out.extend_from_slice(&encode_response_frame(id, timing.as_ref(), &response));
+        }
+        if oversized {
+            out.extend_from_slice(&encode(&ReachResponse::Error {
+                message: "frame too large".into(),
+            }));
         }
         if !out.is_empty() {
             match stream.write_all(&out) {
@@ -312,27 +358,35 @@ fn handle_connection(
 }
 
 /// Wraps [`route`] in the same per-opcode telemetry shape as the
-/// single-node server, so one dashboard reads both tiers.
+/// single-node server, so one dashboard reads both tiers. The handler
+/// span is parented under the `router.frame` span via `parent`, and its
+/// own context flows down to the fan-out so every backend hop lands in
+/// the same trace.
+#[allow(clippy::too_many_arguments)]
 fn route_instrumented(
     api: &AdsManagerApi<'_>,
     clients: Option<&mut Vec<ReachClient>>,
     telemetry: &Telemetry,
+    metrics: &ConnectionMetrics,
     request: &ReachRequest,
+    parent: Option<TraceContext>,
+    started_at: Instant,
 ) -> ReachResponse {
     if !telemetry.is_enabled() {
-        return route(api, clients, telemetry, request);
+        return route(api, clients, telemetry, request, parent);
     }
-    let (counter, span_name) = opcode_names(request);
-    telemetry.registry().counter(counter).incr();
-    let in_flight = telemetry.registry().gauge("reach.requests.in_flight");
+    let (counter, span_source) = metrics.opcode(telemetry, request);
+    counter.incr();
+    let in_flight = metrics.in_flight(telemetry);
     in_flight.incr();
     let response = {
-        let _span = telemetry
-            .span(span_name)
+        let span = telemetry
+            .span_via(span_source)
+            .child_of(parent)
             .field("locations", request.locations.len().into())
             .field("interests", request.interests.len().into())
-            .start();
-        route(api, clients, telemetry, request)
+            .start_at(started_at);
+        route(api, clients, telemetry, request, span.trace_context())
     };
     in_flight.decr();
     if matches!(response, ReachResponse::Error { .. }) {
@@ -347,6 +401,7 @@ fn route(
     clients: Option<&mut Vec<ReachClient>>,
     telemetry: &Telemetry,
     request: &ReachRequest,
+    parent: Option<TraceContext>,
 ) -> ReachResponse {
     if request.v != PROTOCOL_VERSION {
         return ReachResponse::Error {
@@ -354,10 +409,30 @@ fn route(
         };
     }
     if request.snapshot == Some(true) {
-        // The router's own registry: fan-out spans, merge counters, and the
-        // client-facing request mix. Backend registries are one
-        // `stats_snapshot` probe away on their own addresses.
-        return ReachResponse::StatsSnapshot { registry: telemetry.snapshot() };
+        // Fleet fan-in: the router's own registry (fan-out spans, merge
+        // counters, the client-facing request mix) plus every backend's
+        // registry folded in under `shard.<i>.`-prefixed names, so one
+        // `telemetry_snapshot()` against the router observes the whole
+        // deployment. A backend that fails to answer is counted (and its
+        // section simply missing) rather than failing the dump.
+        let mut registry = telemetry.snapshot();
+        if let Some(clients) = clients {
+            for (shard, client) in clients.iter_mut().enumerate() {
+                client.set_trace_parent(parent);
+                match client.telemetry_snapshot() {
+                    Ok(snap) => merge_prefixed(&mut registry, shard, snap),
+                    Err(_) => {
+                        if telemetry.is_enabled() {
+                            telemetry.registry().counter("router.snapshot.fanin_errors").incr();
+                        }
+                    }
+                }
+            }
+        }
+        registry.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        registry.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        registry.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        return ReachResponse::StatsSnapshot { registry };
     }
     if request.stats == Some(true) {
         return ReachResponse::Error {
@@ -407,12 +482,31 @@ fn route(
     let Some(clients) = clients else {
         return ReachResponse::Error { message: "router has no live backend connections".into() };
     };
-    match fan_out_and_merge(api, clients, request, nested, sampled) {
+    match fan_out_and_merge(api, clients, request, nested, sampled, parent) {
         Ok(response) => response,
         Err(RouteError::Backend(e)) => {
             ReachResponse::Error { message: format!("backend error: {e}") }
         }
         Err(RouteError::Merge(message)) => ReachResponse::Error { message },
+    }
+}
+
+/// Folds a backend's registry dump into `registry` with every metric name
+/// prefixed `shard.<i>.` — the sections of the router's fleet-wide
+/// snapshot. The caller re-sorts afterwards to keep the snapshot's
+/// sorted-by-name contract.
+fn merge_prefixed(registry: &mut RegistrySnapshot, shard: usize, snap: RegistrySnapshot) {
+    for mut counter in snap.counters {
+        counter.name = format!("shard.{shard}.{}", counter.name);
+        registry.counters.push(counter);
+    }
+    for mut gauge in snap.gauges {
+        gauge.name = format!("shard.{shard}.{}", gauge.name);
+        registry.gauges.push(gauge);
+    }
+    for mut histogram in snap.histograms {
+        histogram.name = format!("shard.{shard}.{}", histogram.name);
+        registry.histograms.push(histogram);
     }
 }
 
@@ -436,10 +530,16 @@ fn fan_out_and_merge(
     request: &ReachRequest,
     nested: bool,
     sampled: bool,
+    parent: Option<TraceContext>,
 ) -> Result<ReachResponse, RouteError> {
-    let shard_request = ReachRequest { id: None, ..request.clone() }.with_shard();
+    // The fan-out never forwards the client's trace context verbatim:
+    // each backend hop gets its own `client.request` span (parented under
+    // this handler's span), so per-shard wire and server time stay
+    // separable in the reconstructed trace.
+    let shard_request = ReachRequest { id: None, trace: None, ..request.clone() }.with_shard();
     let mut ids = Vec::with_capacity(clients.len());
     for client in clients.iter_mut() {
+        client.set_trace_parent(parent);
         ids.push(client.send(&shard_request)?);
     }
     let mut partials: Vec<ShardPartials> = Vec::with_capacity(clients.len());

@@ -9,7 +9,7 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use fbsim_adplatform::reach::{AdsManagerApi, ReportingEra};
@@ -21,11 +21,12 @@ use fbsim_population::shard::{ShardAssignment, ShardSpec};
 use fbsim_population::{InterestId, World};
 use parking_lot::Mutex;
 use reach_cache::{key::canonical_interests, CacheConfig, CacheStats, ReachCache};
-use uof_telemetry::{Telemetry, TelemetryConfig};
+use uof_telemetry::metrics::{Counter, Gauge};
+use uof_telemetry::{SpanSource, Telemetry, TelemetryConfig, TraceContext};
 
 use crate::proto::{
-    decode, encode, encode_response_frame, FrameCodec, ReachPoint, ReachRequest, ReachResponse,
-    PROTOCOL_VERSION,
+    decode, encode, encode_response_frame, FrameCodec, FrameError, ReachPoint, ReachRequest,
+    ReachResponse, ServerTiming, PROTOCOL_VERSION,
 };
 
 /// Token-bucket rate-limit settings (per connection).
@@ -415,7 +416,11 @@ fn handle_connection(
     let api = AdsManagerApi::new(world, config.era);
     let mut codec = FrameCodec::new();
     let mut bucket = TokenBucket::new(config.rate_limit);
-    let mut buf = [0u8; 4096];
+    let metrics = ConnectionMetrics::new("server.frame");
+    // Sized for a full pipelined request batch in one read: a deep-pipelining
+    // client sends ~10 KiB back-to-back, and a smaller buffer splits the
+    // batch into extra read syscalls.
+    let mut buf = [0u8; 16384];
     loop {
         if stop.load(Ordering::Relaxed) {
             return Ok(());
@@ -432,32 +437,50 @@ fn handle_connection(
             Err(e) => return Err(e),
         }
         // Drain every complete frame this read delivered before touching
-        // the socket again — the server half of pipelining. Responses are
-        // batched into one write so N pipelined requests cost one syscall
-        // and one TCP segment train, not N.
-        let mut out: Vec<u8> = Vec::new();
+        // the socket again — the server half of pipelining. Frames are
+        // decoded and stamped up front, then handled in order: the stamp
+        // is when the request became runnable, so each frame's measured
+        // queue wait covers the time it spent parked behind earlier frames
+        // of the same pipelined batch. Responses are batched into one
+        // write so N pipelined requests cost one syscall and one TCP
+        // segment train, not N.
+        let mut pending: Vec<(Instant, Result<ReachRequest, FrameError>)> = Vec::new();
         let mut oversized = false;
         loop {
-            let frame = match codec.next_frame() {
-                Ok(Some(frame)) => frame,
+            match codec.next_frame() {
+                Ok(Some(frame)) => pending.push((Instant::now(), decode::<ReachRequest>(&frame))),
                 Ok(None) => break,
                 Err(_) => {
                     // Oversized frame: tell the client and drop them (after
                     // flushing answers to the frames before it).
                     telemetry.count("reach.requests.oversized", 1);
-                    out.extend_from_slice(&encode(&ReachResponse::Error {
-                        message: "frame too large".into(),
-                    }));
                     oversized = true;
                     break;
                 }
-            };
-            let (id, response) = match decode::<ReachRequest>(&frame) {
+            }
+        }
+        let mut out: Vec<u8> = Vec::new();
+        for (decoded_at, parsed) in pending.drain(..) {
+            let (id, timing, response) = match parsed {
                 Err(e) => {
                     telemetry.count("reach.requests.error", 1);
-                    (None, ReachResponse::Error { message: e.to_string() })
+                    (None, None, ReachResponse::Error { message: e.to_string() })
                 }
                 Ok(request) => {
+                    let queue_ns = saturating_ns(decoded_at.elapsed());
+                    // One span per wire frame, adopting the client's trace
+                    // context when the request carries one — this is the
+                    // server-side hop a trace tree hangs handler spans off.
+                    // It starts at the frame's decode stamp (no extra clock
+                    // read) so its duration covers the frame's full server
+                    // residency: decode, queue wait, and handling.
+                    let mut frame_span = telemetry
+                        .span_via(&metrics.frame_span)
+                        .child_of(request.trace)
+                        .field("queue_ns", queue_ns.into())
+                        .start_at(decoded_at);
+                    let handler_start = Instant::now();
+                    let mut probe = TimingProbe::default();
                     let response = match bucket.try_take() {
                         Err(wait) => {
                             telemetry.count("reach.requests.rate_limited", 1);
@@ -467,7 +490,16 @@ fn handle_connection(
                         }
                         Ok(()) => {
                             let r = answer_instrumented(
-                                &api, cache, index, config, telemetry, &request,
+                                &api,
+                                cache,
+                                index,
+                                config,
+                                telemetry,
+                                &metrics,
+                                &request,
+                                frame_span.trace_context(),
+                                handler_start,
+                                &mut probe,
                             );
                             if !matches!(
                                 r,
@@ -478,10 +510,26 @@ fn handle_connection(
                             r
                         }
                     };
-                    (request.id, response)
+                    // The timing echo is opt-in: only requests that carried
+                    // a trace context get one, so v1 clients (and v2 clients
+                    // that never opted into tracing) see byte-identical
+                    // response frames.
+                    let timing = request.trace.is_some().then(|| ServerTiming {
+                        queue_ns,
+                        handler_ns: saturating_ns(handler_start.elapsed()),
+                        cache_hit: !probe.engine_ran,
+                        engine_ns: probe.engine_ns,
+                    });
+                    frame_span.annotate("engine_ns", probe.engine_ns.into());
+                    (request.id, timing, response)
                 }
             };
-            out.extend_from_slice(&encode_response_frame(id, &response));
+            out.extend_from_slice(&encode_response_frame(id, timing.as_ref(), &response));
+        }
+        if oversized {
+            out.extend_from_slice(&encode(&ReachResponse::Error {
+                message: "frame too large".into(),
+            }));
         }
         if !out.is_empty() {
             match stream.write_all(&out) {
@@ -506,52 +554,158 @@ fn handle_connection(
 
 /// Per-opcode metric names: `(counter, latency-span)` pairs. The span name
 /// doubles as the histogram name the duration lands in.
-pub(crate) fn opcode_names(request: &ReachRequest) -> (&'static str, &'static str) {
+pub(crate) const OPCODE_NAMES: [(&str, &str); 6] = [
+    ("reach.requests.shard", "reach.request.shard"),
+    ("reach.requests.snapshot", "reach.request.snapshot"),
+    ("reach.requests.stats", "reach.request.stats"),
+    ("reach.requests.nested", "reach.request.nested"),
+    ("reach.requests.sampled", "reach.request.sampled"),
+    ("reach.requests.scalar", "reach.request.scalar"),
+];
+
+/// The [`OPCODE_NAMES`] row for `request`'s wire opcode.
+fn opcode_index(request: &ReachRequest) -> usize {
     if request.shard == Some(true) {
-        ("reach.requests.shard", "reach.request.shard")
+        0
     } else if request.snapshot == Some(true) {
-        ("reach.requests.snapshot", "reach.request.snapshot")
+        1
     } else if request.stats == Some(true) {
-        ("reach.requests.stats", "reach.request.stats")
+        2
     } else if request.nested == Some(true) {
-        ("reach.requests.nested", "reach.request.nested")
+        3
     } else if request.sampled == Some(true) {
-        ("reach.requests.sampled", "reach.request.sampled")
+        4
     } else {
-        ("reach.requests.scalar", "reach.request.scalar")
+        5
+    }
+}
+
+/// Per-connection handles to the metrics the frame loop touches on every
+/// request, resolved once per name instead of per frame. A by-name
+/// registry lookup takes a read lock and a map walk; at pipelined request
+/// rates that is a measurable share of the warm path, and the registry's
+/// contract is that hot loops hoist lookups. Handles resolve lazily on
+/// first **enabled** use, so a connection on a disabled-telemetry server
+/// registers nothing (and a server enabled at runtime resolves them on the
+/// next request).
+pub(crate) struct ConnectionMetrics {
+    /// Per-frame span (`server.frame` on the server, `router.frame` on the
+    /// router).
+    pub(crate) frame_span: SpanSource,
+    in_flight: OnceLock<Arc<Gauge>>,
+    /// One slot per [`OPCODE_NAMES`] row.
+    opcodes: [OpcodeMetrics; OPCODE_NAMES.len()],
+}
+
+struct OpcodeMetrics {
+    counter_name: &'static str,
+    counter: OnceLock<Arc<Counter>>,
+    span: SpanSource,
+}
+
+impl ConnectionMetrics {
+    pub(crate) fn new(frame_span_name: &'static str) -> Self {
+        Self {
+            frame_span: SpanSource::new(frame_span_name),
+            in_flight: OnceLock::new(),
+            opcodes: OPCODE_NAMES.map(|(counter_name, span_name)| OpcodeMetrics {
+                counter_name,
+                counter: OnceLock::new(),
+                span: SpanSource::new(span_name),
+            }),
+        }
+    }
+
+    /// The request counter and handler-span source for `request`'s opcode.
+    pub(crate) fn opcode(
+        &self,
+        telemetry: &Telemetry,
+        request: &ReachRequest,
+    ) -> (&Counter, &SpanSource) {
+        let op = &self.opcodes[opcode_index(request)];
+        // lint:allow(dynamic-metric-name) — per-opcode names from the static OPCODE_NAMES table
+        let counter = op.counter.get_or_init(|| telemetry.registry().counter(op.counter_name));
+        (counter, &op.span)
+    }
+
+    /// The `reach.requests.in_flight` gauge.
+    pub(crate) fn in_flight(&self, telemetry: &Telemetry) -> &Gauge {
+        self.in_flight.get_or_init(|| telemetry.registry().gauge("reach.requests.in_flight"))
+    }
+}
+
+/// Saturating nanosecond reading of an elapsed interval (a duration past
+/// ~584 years would overflow `u64`; clamp instead of truncating).
+pub(crate) fn saturating_ns(elapsed: Duration) -> u64 {
+    u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Accumulates where a request's handler time actually went, for the
+/// opt-in [`ServerTiming`] echo and the handler span's annotations.
+/// `engine_ns` covers the compute sections — cache-miss closures, index
+/// lookups, shard partial evaluation — and `engine_ran` records whether
+/// any ran at all (a warm scalar request answers purely from cache and
+/// reports `cache_hit` on the wire). Purely observational: nothing in the
+/// answer path reads it back.
+#[derive(Default, Clone, Copy)]
+struct TimingProbe {
+    engine_ns: u64,
+    engine_ran: bool,
+}
+
+impl TimingProbe {
+    /// Runs `compute` and folds its wall time into the engine total.
+    fn time<T>(&mut self, compute: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = compute();
+        self.engine_ns = self.engine_ns.saturating_add(saturating_ns(start.elapsed()));
+        self.engine_ran = true;
+        out
     }
 }
 
 /// Wraps [`answer`] in per-opcode telemetry: an opcode counter, the
 /// in-flight gauge, and a latency span (which records into the
 /// `reach.request.<opcode>` histogram and traces when a sink is attached).
-/// When telemetry is disabled this adds one relaxed load over a bare
-/// `answer` call.
+/// The handler span is parented under the per-frame `server.frame` span
+/// via `parent` and starts at the caller's `started_at` stamp — the same
+/// instant the timing echo's `handler_ns` measures from — so the span and
+/// the echo agree without a second clock read. When telemetry is disabled
+/// this adds one relaxed load over a bare `answer` call.
+#[allow(clippy::too_many_arguments)]
 fn answer_instrumented(
     api: &AdsManagerApi<'_>,
     cache: &ReachCache,
     index: &SampledIndex,
     config: &ServerConfig,
     telemetry: &Telemetry,
+    metrics: &ConnectionMetrics,
     request: &ReachRequest,
+    parent: Option<TraceContext>,
+    started_at: Instant,
+    probe: &mut TimingProbe,
 ) -> ReachResponse {
     if !telemetry.is_enabled() {
-        return answer(api, cache, index, config, telemetry, request);
+        return answer(api, cache, index, config, telemetry, request, probe);
     }
-    let (counter, span_name) = opcode_names(request);
-    telemetry.registry().counter(counter).incr();
-    let in_flight = telemetry.registry().gauge("reach.requests.in_flight");
+    let (counter, span_source) = metrics.opcode(telemetry, request);
+    counter.incr();
+    let in_flight = metrics.in_flight(telemetry);
     // Incremented before the request is handled, so a snapshot request
     // deterministically observes itself in flight (the gauge is >= 1 in
     // its own dump).
     in_flight.incr();
     let response = {
-        let _span = telemetry
-            .span(span_name)
+        let mut span = telemetry
+            .span_via(span_source)
+            .child_of(parent)
             .field("locations", request.locations.len().into())
             .field("interests", request.interests.len().into())
-            .start();
-        answer(api, cache, index, config, telemetry, request)
+            .start_at(started_at);
+        let response = answer(api, cache, index, config, telemetry, request, probe);
+        span.annotate("engine_ns", probe.engine_ns.into());
+        span.annotate("cache_hit", (!probe.engine_ran).into());
+        response
     };
     in_flight.decr();
     if matches!(response, ReachResponse::Error { .. }) {
@@ -598,6 +752,7 @@ fn answer(
     config: &ServerConfig,
     telemetry: &Telemetry,
     request: &ReachRequest,
+    probe: &mut TimingProbe,
 ) -> ReachResponse {
     if request.v != PROTOCOL_VERSION {
         return ReachResponse::Error {
@@ -684,7 +839,9 @@ fn answer(
         let chunks = assignment.chunks_of(shard.index);
         let generation = api.world().generation();
         let values: Vec<Vec<u64>> = if sampled {
-            match index.count_in_blocks(api.world(), spec.interests(), filter, &chunks) {
+            match probe
+                .time(|| index.count_in_blocks(api.world(), spec.interests(), filter, &chunks))
+            {
                 Some(counts) => counts.into_iter().map(|n| vec![n]).collect(),
                 None => {
                     return ReachResponse::Error {
@@ -693,16 +850,26 @@ fn answer(
                 }
             }
         } else if nested {
-            api.world()
-                .reach_engine()
-                .nested_chunk_partials(spec.interests(), filter, &chunks)
+            probe
+                .time(|| {
+                    api.world().reach_engine().nested_chunk_partials(
+                        spec.interests(),
+                        filter,
+                        &chunks,
+                    )
+                })
                 .into_iter()
                 .map(|per_prefix| per_prefix.into_iter().map(f64::to_bits).collect())
                 .collect()
         } else {
-            api.world()
-                .reach_engine()
-                .conjunction_chunk_partials(spec.interests(), filter, &chunks)
+            probe
+                .time(|| {
+                    api.world().reach_engine().conjunction_chunk_partials(
+                        spec.interests(),
+                        filter,
+                        &chunks,
+                    )
+                })
                 .into_iter()
                 .map(|partial| vec![partial.to_bits()])
                 .collect()
@@ -717,7 +884,7 @@ fn answer(
         // Sampled counts bypass the float engine and its cache entirely:
         // the index is its own memo (posting lists persist across queries)
         // and its epoch rides the same generation counter.
-        let reach = match index.count(api.world(), spec.interests(), filter) {
+        let reach = match probe.time(|| index.count(api.world(), spec.interests(), filter)) {
             Some(members) => members as f64 * api.world().panel().scale(),
             None => {
                 return ReachResponse::Error {
@@ -733,9 +900,12 @@ fn answer(
         };
     }
     if nested {
+        // Nested answers flow through the cache's prefix memo, which runs
+        // the engine internally — the probe times the combined lookup, so
+        // nested requests always report engine time (never `cache_hit`).
         let engine = api.world().reach_engine();
-        let reaches = cache
-            .nested_reaches_in(&engine, spec.interests(), filter)
+        let reaches = probe
+            .time(|| cache.nested_reaches_in(&engine, spec.interests(), filter))
             .into_iter()
             .map(|raw| {
                 let point = api.report_potential(raw);
@@ -751,8 +921,24 @@ fn answer(
     // The expensive true-reach evaluation is memoized; the cheap reporting
     // step (floor + advisory) is applied to the cached value, so a cached
     // answer is bit-identical to an uncached one.
-    let true_reach =
-        cache.reach(spec.interests(), filter, spec.age_range(), || api.true_reach(&spec));
+    // The compute closure is `Fn` (the cache may invoke it under its
+    // single-flight machinery), so the probe is fed through a `Cell`
+    // rather than a mutable capture. A cache hit never runs the closure:
+    // the probe then records no engine work and the request reports
+    // `cache_hit` on the wire.
+    let compute = std::cell::Cell::new((0u64, false));
+    let true_reach = cache.reach(spec.interests(), filter, spec.age_range(), || {
+        let start = Instant::now();
+        let value = api.true_reach(&spec);
+        let (ns, _) = compute.get();
+        compute.set((ns.saturating_add(saturating_ns(start.elapsed())), true));
+        value
+    });
+    let (engine_ns, engine_ran) = compute.get();
+    if engine_ran {
+        probe.engine_ns = probe.engine_ns.saturating_add(engine_ns);
+        probe.engine_ran = true;
+    }
     let reach = api.report_potential(true_reach);
     ReachResponse::Reach {
         reported: reach.reported,

@@ -20,7 +20,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fbsim_population::{World, WorldConfig};
-use reach_api::proto::{decode, decode_response_frame, encode, FrameCodec, ReachRequest};
+use reach_api::proto::{
+    decode, decode_response_frame, encode, FrameCodec, ReachRequest, ResponseFrame,
+};
 use reach_api::server::{RateLimitConfig, ServerConfig};
 use reach_api::{ClientError, ReachClient, ReachResponse, ReachServer, DEFAULT_MAX_BACKOFF};
 use reach_cache::CacheConfig;
@@ -138,7 +140,7 @@ fn late_response_script(delay: Duration, echo_ids: bool) -> std::net::SocketAddr
             let response =
                 ReachResponse::Reach { reported, floored: false, too_narrow_warning: false };
             let id = if echo_ids { request.id } else { None };
-            sock.write_all(&reach_api::proto::encode_response_frame(id, &response)).unwrap();
+            sock.write_all(&reach_api::proto::encode_response_frame(id, None, &response)).unwrap();
         }
     });
     addr
@@ -230,15 +232,22 @@ fn v1_frames_without_ids_are_answered_in_order() {
         responses.push(decode_response_frame(&frame).unwrap());
     }
     match &responses[0] {
-        (None, ReachResponse::Reach { reported, .. }) => assert_eq!(*reported, first.reported),
+        ResponseFrame { id: None, response: ReachResponse::Reach { reported, .. }, .. } => {
+            assert_eq!(*reported, first.reported);
+        }
         other => panic!("expected an id-less reach frame, got {other:?}"),
     }
     match &responses[1] {
-        (None, ReachResponse::Reach { reported, .. }) => assert_eq!(*reported, second.reported),
+        ResponseFrame { id: None, response: ReachResponse::Reach { reported, .. }, .. } => {
+            assert_eq!(*reported, second.reported);
+        }
         other => panic!("expected an id-less reach frame, got {other:?}"),
     }
     assert!(
-        matches!(&responses[2], (None, ReachResponse::Stats { .. })),
+        matches!(
+            &responses[2],
+            ResponseFrame { id: None, response: ReachResponse::Stats { .. }, .. }
+        ),
         "third answer must be the stats probe, got {:?}",
         responses[2]
     );
@@ -274,9 +283,9 @@ fn interleaved_idd_and_idless_frames_answer_correctly() {
         got.push(decode_response_frame(&frame).unwrap());
     }
     let expected = [(Some(7), first.reported), (None, second.reported), (Some(9), third.reported)];
-    for ((id, response), (want_id, want_reported)) in got.iter().zip(expected) {
-        assert_eq!(*id, want_id);
-        match response {
+    for (frame, (want_id, want_reported)) in got.iter().zip(expected) {
+        assert_eq!(frame.id, want_id);
+        match &frame.response {
             ReachResponse::Reach { reported, .. } => assert_eq!(*reported, want_reported),
             other => panic!("expected a reach frame, got {other:?}"),
         }

@@ -3,8 +3,9 @@
 use proptest::prelude::*;
 use reach_api::proto::{
     decode, decode_response_frame, encode, encode_response_frame, FrameCodec, ReachRequest,
-    ReachResponse,
+    ReachResponse, ServerTiming,
 };
+use uof_telemetry::TraceContext;
 
 proptest! {
     #[test]
@@ -14,8 +15,12 @@ proptest! {
         interests in prop::collection::vec(any::<u32>(), 0..30),
         has_id in any::<bool>(),
         raw_id in any::<u64>(),
+        has_trace in any::<bool>(),
+        trace_id in any::<u64>(),
+        parent_span_id in any::<u64>(),
     ) {
         let id = has_id.then_some(raw_id);
+        let trace = has_trace.then_some(TraceContext { trace_id, parent_span_id });
         let request =
             ReachRequest {
                 v,
@@ -27,6 +32,7 @@ proptest! {
                 sampled: None,
                 id,
                 shard: None,
+                trace,
             };
         let frame = encode(&request);
         let back: ReachRequest = decode(&frame[..frame.len() - 1]).unwrap();
@@ -51,6 +57,7 @@ proptest! {
                 sampled: None,
                 id: None,
                 shard: None,
+                trace: None,
             })
             .collect();
         for r in &originals {
@@ -76,18 +83,26 @@ proptest! {
     }
 
     #[test]
-    fn response_frames_round_trip_any_id(
+    fn response_frames_round_trip_any_id_and_timing(
         reported in any::<u64>(),
         has_id in any::<bool>(),
         raw_id in any::<u64>(),
+        has_timing in any::<bool>(),
+        queue_ns in any::<u64>(),
+        handler_ns in any::<u64>(),
+        cache_hit in any::<bool>(),
+        engine_ns in any::<u64>(),
     ) {
         let id = has_id.then_some(raw_id);
+        let timing =
+            has_timing.then_some(ServerTiming { queue_ns, handler_ns, cache_hit, engine_ns });
         let response =
             ReachResponse::Reach { reported, floored: false, too_narrow_warning: false };
-        let frame = encode_response_frame(id, &response);
-        let (got_id, back) = decode_response_frame(&frame[..frame.len() - 1]).unwrap();
-        prop_assert_eq!(got_id, id);
-        prop_assert_eq!(back, response);
+        let frame = encode_response_frame(id, timing.as_ref(), &response);
+        let back = decode_response_frame(&frame[..frame.len() - 1]).unwrap();
+        prop_assert_eq!(back.id, id);
+        prop_assert_eq!(back.server_timing, timing);
+        prop_assert_eq!(back.response, response);
     }
 
     #[test]

@@ -8,14 +8,34 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use fbsim_population::{World, WorldConfig};
-use reach_api::proto::ReachResponse;
+use reach_api::proto::{decode_response_frame, ReachResponse};
 use reach_api::server::ServerConfig;
 use reach_api::{ReachClient, ReachServer};
 use reach_cache::CacheConfig;
 use uof_telemetry::TelemetryConfig;
+
+/// A cloneable in-memory trace sink.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
 
 fn test_world() -> Arc<World> {
     use std::sync::OnceLock;
@@ -164,6 +184,127 @@ fn disabled_telemetry_is_inert_and_answers_match() {
     assert!(registry.counters.is_empty(), "{registry:?}");
     assert!(registry.gauges.is_empty(), "{registry:?}");
     assert!(registry.histograms.is_empty(), "{registry:?}");
+}
+
+/// A telemetry-enabled server with a trace sink attached — full tracing,
+/// the configuration the compatibility tests below exercise.
+fn tracing_server() -> (ReachServer, SharedBuf) {
+    let server = telemetry_server();
+    let sink = SharedBuf::default();
+    server.telemetry().attach_trace_writer(Box::new(sink.clone()));
+    (server, sink)
+}
+
+#[test]
+fn v1_and_id_only_frames_are_served_unchanged_by_a_tracing_server() {
+    // Backward compatibility under full tracing: a version-1 frame (no id,
+    // no trace context) and a v2 id-only frame must both be answered
+    // correctly — and neither response may grow trace-era bytes. The echo
+    // is strictly opt-in by sending a trace context.
+    let (server, _sink) = tracing_server();
+    let mut reference = ReachClient::connect(server.addr()).unwrap();
+    let expected = reference.potential_reach(&["US", "ES"], &[0]).unwrap();
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // v1: bare frame in, bare frame out.
+    stream.write_all(b"{\"v\":1,\"locations\":[\"US\",\"ES\"],\"interests\":[0]}\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(!line.contains("\"id\""), "id-less request grew an id: {line}");
+    assert!(!line.contains("server_timing"), "unsolicited timing echo: {line}");
+    assert!(!line.contains("trace"), "trace bytes leaked to a v1 client: {line}");
+    let response: ReachResponse = serde_json::from_str(line.trim_end()).unwrap();
+    match response {
+        ReachResponse::Reach { reported, .. } => assert_eq!(reported, expected.reported),
+        other => panic!("expected reach frame, got {other:?}"),
+    }
+
+    // v2 id-only: the id echoes, nothing else appears.
+    stream
+        .write_all(b"{\"v\":1,\"locations\":[\"US\",\"ES\"],\"interests\":[0],\"id\":5}\n")
+        .unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(!line.contains("server_timing"), "unsolicited timing echo: {line}");
+    assert!(!line.contains("trace"), "trace bytes leaked to an id-only client: {line}");
+    let frame = decode_response_frame(line.trim_end().as_bytes()).unwrap();
+    assert_eq!(frame.id, Some(5));
+    assert_eq!(frame.server_timing, None);
+    match frame.response {
+        ReachResponse::Reach { reported, .. } => assert_eq!(reported, expected.reported),
+        other => panic!("expected reach frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn trace_context_requests_get_the_timing_echo_and_join_the_trace() {
+    let (server, sink) = tracing_server();
+    let mut reference = ReachClient::connect(server.addr()).unwrap();
+    let expected = reference.potential_reach(&["US", "FR"], &[3]).unwrap();
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let tagged = b"{\"v\":1,\"locations\":[\"US\",\"FR\"],\"interests\":[3],\"id\":9,\
+                   \"trace\":{\"trace_id\":1,\"parent_span_id\":2}}\n";
+
+    // The reference client already ran this exact query, so the tagged
+    // resend is answered from cache — the echo must say so.
+    stream.write_all(tagged).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let frame = decode_response_frame(line.trim_end().as_bytes()).unwrap();
+    assert_eq!(frame.id, Some(9));
+    let timing = frame.server_timing.expect("context-tagged request gets a timing echo");
+    assert!(timing.handler_ns > 0, "{timing:?}");
+    assert!(
+        timing.cache_hit && timing.engine_ns == 0,
+        "the reference client warmed this exact query: {timing:?}"
+    );
+    match frame.response {
+        ReachResponse::Reach { reported, .. } => assert_eq!(reported, expected.reported),
+        other => panic!("expected reach frame, got {other:?}"),
+    }
+
+    // A cold query through the same tagged path reports engine time.
+    let cold = b"{\"v\":1,\"locations\":[\"US\",\"FR\"],\"interests\":[3,19],\"id\":10,\
+                 \"trace\":{\"trace_id\":1,\"parent_span_id\":2}}\n";
+    stream.write_all(cold).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let frame = decode_response_frame(line.trim_end().as_bytes()).unwrap();
+    let timing = frame.server_timing.expect("timing echo");
+    assert!(
+        !timing.cache_hit && timing.engine_ns > 0,
+        "a cold query must report engine compute: {timing:?}"
+    );
+    assert!(timing.handler_ns >= timing.engine_ns, "{timing:?}");
+
+    // The server-side spans joined the caller's trace: a `server.frame`
+    // span under trace 1 with parent span 2, and a handler span under
+    // that frame span.
+    server.telemetry().flush_traces();
+    let traces = sink.contents();
+    let frame_line = traces
+        .lines()
+        .find(|l| l.contains("\"span\":\"server.frame\"") && l.contains("\"trace_id\":1,"))
+        .unwrap_or_else(|| panic!("no server.frame span joined trace 1:\n{traces}"));
+    assert!(frame_line.contains("\"parent_span_id\":2,"), "{frame_line}");
+    let span_id = frame_line
+        .split("\"span_id\":")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .expect("span_id field");
+    let child_marker = format!("\"parent_span_id\":{span_id},");
+    assert!(
+        traces.lines().any(|l| {
+            l.contains("\"span\":\"reach.request.scalar\"")
+                && l.contains("\"trace_id\":1,")
+                && l.contains(&child_marker)
+        }),
+        "no handler span hangs off the frame span {span_id}:\n{traces}"
+    );
 }
 
 #[test]

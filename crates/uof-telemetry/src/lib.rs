@@ -58,8 +58,14 @@ use parking_lot::Mutex;
 pub use config::TelemetryConfig;
 pub use metrics::{BucketCount, Histogram, HistogramSnapshot, LATENCY_BOUNDS_NS};
 pub use registry::{CounterSnapshot, GaugeSnapshot, Registry, RegistrySnapshot};
-pub use span::{FieldValue, SpanBuilder, SpanGuard};
+pub use span::{FieldValue, SpanBuilder, SpanGuard, SpanSource, TraceContext};
 pub use trace::{TraceEvent, Tracer};
+
+/// Counter of trace events that failed to reach the attached sink
+/// (serialization or I/O error). Tracing stays best-effort — nothing ever
+/// blocks or panics on a full disk — but drops are no longer silent: the
+/// count lands in every registry snapshot.
+pub const TRACE_DROPPED_COUNTER: &str = "telemetry.trace.dropped";
 
 /// One telemetry domain: an enabled flag, a metric registry, and an
 /// optional trace sink.
@@ -138,10 +144,27 @@ impl Telemetry {
         &self.registry
     }
 
+    /// Whether a trace sink is attached (one relaxed load). Spans started
+    /// while this is true allocate trace/span ids; callers that propagate
+    /// [`TraceContext`] over the wire use it to skip the work when nobody
+    /// is listening.
+    #[inline]
+    pub fn is_tracing(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
     /// Starts building a span named `name` (see [`span!`] for the macro
     /// spelling). Inert when disabled.
     pub fn span(&self, name: &'static str) -> SpanBuilder<'_> {
         SpanBuilder::new(self, name)
+    }
+
+    /// Starts building a span through a hoisted [`SpanSource`]: the drop
+    /// path records into the source's cached histogram handle instead of
+    /// re-resolving the span name in the registry. The hot-loop spelling
+    /// of [`Telemetry::span`].
+    pub fn span_via(&self, source: &SpanSource) -> SpanBuilder<'_> {
+        SpanBuilder::via(self, source)
     }
 
     /// Adds `n` to the named counter when enabled. Convenience for cold
@@ -193,15 +216,21 @@ impl Telemetry {
     /// Runs `build` and emits the resulting event iff a tracer is
     /// attached. `build` receives the event's sequence number and the
     /// instance origin for timestamping. Called from span drops — must
-    /// never panic.
+    /// never panic. Events the sink rejects (I/O error, full disk) are
+    /// counted into [`TRACE_DROPPED_COUNTER`] instead of vanishing.
     pub(crate) fn emit_trace(&self, build: impl FnOnce(u64, Instant) -> TraceEvent) {
         if !self.tracing.load(Ordering::Relaxed) {
             return;
         }
-        let guard = self.tracer.lock();
-        let Some(tracer) = guard.as_ref() else { return };
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        tracer.emit(&build(seq, self.origin));
+        let delivered = {
+            let guard = self.tracer.lock();
+            let Some(tracer) = guard.as_ref() else { return };
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            tracer.emit(&build(seq, self.origin))
+        };
+        if !delivered {
+            self.registry.counter(TRACE_DROPPED_COUNTER).incr();
+        }
     }
 }
 
@@ -319,6 +348,116 @@ mod tests {
         assert!(lines[1].contains("\"seq\":1"));
         // Histogram still saw all three spans (recording stayed enabled).
         assert_eq!(telemetry.snapshot().histogram("traced").map(|h| h.count), Some(3));
+    }
+
+    #[test]
+    fn failing_sink_counts_trace_drops() {
+        struct Failing;
+        impl std::io::Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let telemetry = Telemetry::new(&TelemetryConfig::disabled());
+        telemetry.attach_trace_writer(Box::new(Failing));
+        drop(telemetry.span("doomed").start());
+        drop(telemetry.span("doomed").start());
+        let snap = telemetry.snapshot();
+        // Both events were dropped, both drops are visible in the snapshot,
+        // and the histogram still recorded the spans (metrics are
+        // independent of the sink).
+        assert_eq!(snap.counter(TRACE_DROPPED_COUNTER), Some(2), "{snap:?}");
+        assert_eq!(snap.histogram("doomed").map(|h| h.count), Some(2));
+    }
+
+    #[test]
+    fn traced_spans_carry_ids_and_parent_links() {
+        let telemetry = Telemetry::new(&TelemetryConfig::disabled());
+        let buf = SharedBuf::default();
+        telemetry.attach_trace_writer(Box::new(buf.clone()));
+
+        let parent = telemetry.span("outer").start();
+        let context = parent.trace_context().expect("tracing spans have identity");
+        assert_ne!(context.trace_id, 0);
+        assert_ne!(context.parent_span_id, 0);
+        drop(telemetry.span("inner").child_of(Some(context)).start());
+        drop(parent);
+        telemetry.detach_trace_writer();
+
+        let bytes = buf.0.lock().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // The child (dropped first) carries the parent's trace id and span
+        // id; the parent is a root of its own trace.
+        let trace = format!("\"trace_id\":{}", context.trace_id);
+        let parent_link = format!("\"parent_span_id\":{}", context.parent_span_id);
+        assert!(lines[0].contains("\"span\":\"inner\""), "{}", lines[0]);
+        assert!(lines[0].contains(&trace), "{}", lines[0]);
+        assert!(lines[0].contains(&parent_link), "{}", lines[0]);
+        assert!(lines[1].contains("\"span\":\"outer\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"parent_span_id\":0"), "{}", lines[1]);
+        assert!(lines[1].contains(&trace), "{}", lines[1]);
+    }
+
+    #[test]
+    fn metrics_only_spans_allocate_no_identity() {
+        let telemetry = Telemetry::new(&TelemetryConfig::enabled());
+        let guard = telemetry.span("plain").start();
+        assert!(guard.is_recording());
+        assert_eq!(guard.trace_context(), None);
+        // Adopting a wire context gives the span identity even without a
+        // local sink, so downstream hops can keep the chain alive.
+        let ctx = TraceContext { trace_id: 42, parent_span_id: 7 };
+        let adopted = telemetry.span("adopted").child_of(Some(ctx)).start();
+        let child_ctx = adopted.trace_context().expect("adopted spans have identity");
+        assert_eq!(child_ctx.trace_id, 42);
+        assert_ne!(child_ctx.parent_span_id, 0);
+    }
+
+    #[test]
+    fn span_via_source_records_into_cached_histogram() {
+        let telemetry = Telemetry::new(&TelemetryConfig::enabled());
+        let source = SpanSource::new("sourced");
+        for _ in 0..2 {
+            drop(telemetry.span_via(&source).start());
+        }
+        assert_eq!(telemetry.snapshot().histogram("sourced").map(|h| h.count), Some(2));
+    }
+
+    #[test]
+    fn span_source_on_disabled_telemetry_registers_nothing() {
+        let telemetry = Telemetry::new(&TelemetryConfig::disabled());
+        let source = SpanSource::new("quiet.sourced");
+        drop(telemetry.span_via(&source).start());
+        assert!(telemetry.snapshot().histograms.is_empty());
+        // Enabling later resolves the handle on the next span through the
+        // same source.
+        telemetry.set_enabled(true);
+        drop(telemetry.span_via(&source).start());
+        assert_eq!(telemetry.snapshot().histogram("quiet.sourced").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn fields_are_discarded_when_no_sink_is_attached_at_span_creation() {
+        let telemetry = Telemetry::new(&TelemetryConfig::enabled());
+        // Span built before the sink attaches: fields are discarded at the
+        // call site (they exist only for the sink), so the event this
+        // boundary span emits carries none of them.
+        let mut span = telemetry.span("boundary").field("early", 1u64.into()).start();
+        let buf = SharedBuf::default();
+        telemetry.attach_trace_writer(Box::new(buf.clone()));
+        span.annotate("late", 2u64.into());
+        drop(span);
+        telemetry.detach_trace_writer();
+        let bytes = buf.0.lock().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("\"span\":\"boundary\""), "{text}");
+        assert!(!text.contains("early"), "{text}");
+        assert!(!text.contains("late"), "{text}");
     }
 
     #[test]

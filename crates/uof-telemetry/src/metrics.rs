@@ -116,8 +116,12 @@ impl Gauge {
 }
 
 /// Default histogram bucket bounds for durations, in **nanoseconds**:
-/// a 1-2-5 ladder from 1 µs to 5 s. Spans record into histograms with
-/// these bounds unless the histogram was registered with explicit ones.
+/// a 1-2-5 ladder from 1 µs to 1 s. Observations above the last bound land
+/// in the explicit trailing overflow bucket (`le = u64::MAX` in snapshots)
+/// and remain visible through the per-histogram recorded maximum, so a
+/// multi-second stall can never hide inside the ladder. Spans record into
+/// histograms with these bounds unless the histogram was registered with
+/// explicit ones.
 pub const LATENCY_BOUNDS_NS: [u64; 19] = [
     1_000,
     2_000,
@@ -145,8 +149,12 @@ pub const LATENCY_BOUNDS_NS: [u64; 19] = [
 ///
 /// Bucket bounds are fixed at registration; recording is a linear probe of
 /// at most `bounds.len()` comparisons (the bound ladders here are short)
-/// plus three relaxed RMWs — no locks, no allocation. The last bucket is
-/// an implicit overflow bucket for observations above every bound.
+/// plus four relaxed RMWs — no locks, no allocation. The last bucket is an
+/// **explicit overflow bucket** for observations above every bound
+/// (snapshots report it with `le = u64::MAX`), and the histogram
+/// additionally tracks the largest value ever observed so out-of-ladder
+/// observations keep their magnitude instead of collapsing into "≥ last
+/// bound".
 #[derive(Debug)]
 pub struct Histogram {
     /// Inclusive upper bounds, strictly increasing.
@@ -155,6 +163,8 @@ pub struct Histogram {
     buckets: Box<[AtomicU64]>,
     count: AtomicU64,
     sum: AtomicU64,
+    /// Largest observed value (0 before any observation).
+    max: AtomicU64,
 }
 
 impl Histogram {
@@ -174,6 +184,7 @@ impl Histogram {
             buckets,
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
         }
     }
 
@@ -190,6 +201,7 @@ impl Histogram {
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
     }
 
     /// The registered bounds.
@@ -205,6 +217,13 @@ impl Histogram {
     /// Sum of all observed values.
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest value ever observed (0 before any observation). This is the
+    /// figure the registry mirrors into a `<name>.max` gauge so snapshots
+    /// keep the magnitude of observations past the last bucket bound.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
     }
 
     /// Snapshots the per-bucket counts (tear-tolerant, like every read
@@ -258,6 +277,12 @@ impl HistogramSnapshot {
     /// Count of non-empty buckets (a quick "did latency data land" probe).
     pub fn populated_buckets(&self) -> usize {
         self.buckets.iter().filter(|b| b.count > 0).count()
+    }
+
+    /// Observations that exceeded every registered bound and landed in the
+    /// explicit trailing overflow bucket (`le = u64::MAX`).
+    pub fn overflow_count(&self) -> u64 {
+        self.buckets.last().map(|b| b.count).unwrap_or(0)
     }
 }
 
@@ -348,5 +373,27 @@ mod tests {
         let snap = h.snapshot("t");
         assert_eq!(snap.buckets.first().unwrap().count, 1);
         assert_eq!(snap.buckets.last().unwrap().count, 1);
+    }
+
+    #[test]
+    fn out_of_range_observations_overflow_explicitly_and_keep_their_max() {
+        // Pins the snapshot semantics for observations past the last
+        // bound: they are counted in the explicit overflow bucket
+        // (le = u64::MAX), included in count/sum, and their magnitude
+        // survives via the recorded max instead of collapsing to "≥ 1 s".
+        let h = Histogram::latency();
+        assert_eq!(h.max(), 0, "no observation yet");
+        h.observe(500); // in-ladder
+        h.observe(7_000_000_000); // 7 s: past every bound
+        h.observe(2_500_000_000); // 2.5 s: also overflow, smaller
+        assert_eq!(h.max(), 7_000_000_000);
+
+        let snap = h.snapshot("t");
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum, 500 + 7_000_000_000 + 2_500_000_000);
+        assert_eq!(snap.overflow_count(), 2);
+        assert_eq!(snap.buckets.last().unwrap().le, u64::MAX);
+        let in_ladder: u64 = snap.buckets[..snap.buckets.len() - 1].iter().map(|b| b.count).sum();
+        assert_eq!(in_ladder, 1, "every non-overflow observation stays in the ladder");
     }
 }

@@ -71,6 +71,11 @@ impl Registry {
     /// A point-in-time dump of every registered metric, sorted by name.
     /// Tear-tolerant like the underlying counters: values lag in-flight
     /// writers but are exact after quiescence.
+    ///
+    /// Every histogram additionally contributes a synthesized `<name>.max`
+    /// gauge carrying its largest observed value (saturated into `i64`),
+    /// so observations past the last bucket bound keep their magnitude in
+    /// the snapshot instead of collapsing into the overflow bucket.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let counters = self
             .counters
@@ -78,13 +83,19 @@ impl Registry {
             .iter()
             .map(|(name, c)| CounterSnapshot { name: name.clone(), value: c.value() })
             .collect();
-        let gauges = self
+        let mut gauges: Vec<GaugeSnapshot> = self
             .gauges
             .read()
             .iter()
             .map(|(name, g)| GaugeSnapshot { name: name.clone(), value: g.value() })
             .collect();
-        let histograms = self.histograms.read().iter().map(|(name, h)| h.snapshot(name)).collect();
+        let histograms: Vec<HistogramSnapshot> =
+            self.histograms.read().iter().map(|(name, h)| h.snapshot(name)).collect();
+        for (name, h) in self.histograms.read().iter() {
+            let value = i64::try_from(h.max()).unwrap_or(i64::MAX);
+            gauges.push(GaugeSnapshot { name: format!("{name}.max"), value });
+        }
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
         RegistrySnapshot { counters, gauges, histograms }
     }
 }
@@ -177,6 +188,13 @@ mod tests {
         let hist = snap.histogram("lat").unwrap();
         assert_eq!(hist.count, 1);
         assert_eq!(hist.populated_buckets(), 1);
+        // The histogram mirrors its recorded max into a synthesized gauge,
+        // and the gauge list stays sorted with the mirror in place.
+        assert_eq!(snap.gauge("lat.max"), Some(1_500));
+        let gauge_names: Vec<&str> = snap.gauges.iter().map(|g| g.name.as_str()).collect();
+        let mut sorted = gauge_names.clone();
+        sorted.sort_unstable();
+        assert_eq!(gauge_names, sorted);
     }
 
     #[test]

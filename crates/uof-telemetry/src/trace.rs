@@ -22,6 +22,12 @@ pub struct TraceEvent {
     /// Process-wide emission sequence number (total order of completions
     /// as observed by the sink).
     pub seq: u64,
+    /// Trace the span belongs to (0 = no identity was allocated).
+    pub trace_id: u64,
+    /// This span's own id (0 = no identity was allocated).
+    pub span_id: u64,
+    /// Parent span id (0 = root of its trace).
+    pub parent_span_id: u64,
     /// Span start, nanoseconds since the telemetry instance's origin.
     pub start_ns: u64,
     /// Span duration in nanoseconds.
@@ -73,13 +79,15 @@ impl Tracer {
     }
 
     /// Serializes `event` as one JSON line. Errors (serialization or I/O)
-    /// are swallowed: trace output is advisory and must never disturb the
-    /// instrumented computation.
-    pub fn emit(&self, event: &TraceEvent) {
-        let Ok(mut line) = serde_json::to_vec(event) else { return };
+    /// never propagate — trace output is advisory and must never disturb
+    /// the instrumented computation — but the return value reports whether
+    /// the event actually reached the sink, so the caller can count drops
+    /// (see the `telemetry.trace.dropped` counter).
+    pub fn emit(&self, event: &TraceEvent) -> bool {
+        let Ok(mut line) = serde_json::to_vec(event) else { return false };
         line.push(b'\n');
         let mut sink = self.sink.lock();
-        let _ = sink.write_all(&line);
+        sink.write_all(&line).is_ok()
     }
 
     /// Flushes the underlying writer (called on detach so tests reading
@@ -115,13 +123,17 @@ mod tests {
         let buf = SharedBuf::default();
         let tracer = Tracer::new(Box::new(buf.clone()));
         for seq in 0..3 {
-            tracer.emit(&TraceEvent {
+            let delivered = tracer.emit(&TraceEvent {
                 span: "test.span".into(),
                 seq,
+                trace_id: 7,
+                span_id: seq + 1,
+                parent_span_id: 0,
                 start_ns: 10 * seq,
                 dur_ns: 5,
                 fields: vec![TraceField { key: "interests", value: FieldValue::U64(seq) }],
             });
+            assert!(delivered);
         }
         tracer.flush();
         let bytes = buf.0.lock().clone();
@@ -134,7 +146,7 @@ mod tests {
     }
 
     #[test]
-    fn write_errors_are_swallowed() {
+    fn write_errors_are_swallowed_but_reported() {
         struct Failing;
         impl Write for Failing {
             fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
@@ -145,14 +157,18 @@ mod tests {
             }
         }
         let tracer = Tracer::new(Box::new(Failing));
-        // Must not panic.
-        tracer.emit(&TraceEvent {
+        // Must not panic, but must report that the line was dropped.
+        let delivered = tracer.emit(&TraceEvent {
             span: "s".into(),
             seq: 0,
+            trace_id: 0,
+            span_id: 0,
+            parent_span_id: 0,
             start_ns: 0,
             dur_ns: 1,
             fields: Vec::new(),
         });
+        assert!(!delivered);
         tracer.flush();
     }
 

@@ -109,7 +109,23 @@ fn write_escaped(s: &str, out: &mut String) {
 ///
 /// A human-readable description with the byte offset of the problem.
 pub fn parse(text: &str) -> Result<Value, String> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    parse_with(text, false)
+}
+
+/// Parses a JSON document, additionally accepting fractional and exponent
+/// number forms (`1.5`, `2e9`). Trace fields may carry `f64` values, so the
+/// `trace-report` reader cannot use the strict integer-only [`parse`]; the
+/// raw number text is still preserved verbatim for exact re-emission.
+///
+/// # Errors
+///
+/// A human-readable description with the byte offset of the problem.
+pub fn parse_lenient(text: &str) -> Result<Value, String> {
+    parse_with(text, true)
+}
+
+fn parse_with(text: &str, lenient_numbers: bool) -> Result<Value, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, lenient_numbers };
     p.skip_ws();
     let value = p.value()?;
     p.skip_ws();
@@ -122,6 +138,7 @@ pub fn parse(text: &str) -> Result<Value, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    lenient_numbers: bool,
 }
 
 impl Parser<'_> {
@@ -286,8 +303,25 @@ impl Parser<'_> {
             return Err(format!("invalid number at byte {start}"));
         }
         // The diagnostics format is integer-only; reject fractions so a
-        // malformed document cannot silently round-trip differently.
-        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+        // malformed document cannot silently round-trip differently. The
+        // lenient mode (trace input) consumes the full JSON number grammar.
+        if self.lenient_numbers {
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        } else if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
             return Err(format!("non-integer number at byte {start}"));
         }
         let raw = std::str::from_utf8(&self.bytes[start..self.pos])
@@ -341,6 +375,18 @@ mod tests {
         assert!(parse("1.5").is_err(), "diagnostics are integer-only");
         assert!(parse("{}extra").is_err());
         assert!(parse("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn lenient_parse_accepts_floats_and_preserves_raw_text() {
+        let value = parse_lenient("{\"x\":1.5,\"y\":2e9,\"z\":-3.25e-2,\"n\":7}").expect("parses");
+        assert_eq!(value.get("x"), Some(&Value::Num("1.5".into())));
+        assert_eq!(value.get("y"), Some(&Value::Num("2e9".into())));
+        assert_eq!(value.get("z"), Some(&Value::Num("-3.25e-2".into())));
+        assert_eq!(value.get("n"), Some(&Value::Num("7".into())));
+        // Lenient mode still rejects structural garbage.
+        assert!(parse_lenient("[1,]").is_err());
+        assert!(parse_lenient("{}extra").is_err());
     }
 
     #[test]

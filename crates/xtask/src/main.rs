@@ -3,6 +3,8 @@
 //! ```text
 //! cargo run -p xtask -- lint [--format text|json] [--waivers] [ROOT]
 //! cargo run -p xtask -- check-json <FILE>
+//! cargo run -p xtask -- trace-report <FILE> [--format text|json]
+//!                                    [--min-complete N] [--exemplars K]
 //! ```
 //!
 //! `lint` walks the workspace (or `ROOT`) and reports findings; exit status
@@ -11,6 +13,12 @@
 //! `--format json` emits the stable machine-readable report documented in
 //! DESIGN.md §8.2. `check-json` re-parses a JSON report and verifies it
 //! re-emits byte-identically (the round-trip check `scripts/check.sh` runs).
+//! `trace-report` analyzes a JSONL span trace (DESIGN.md §15): tree
+//! reconstruction, per-span percentiles, per-hop latency decomposition,
+//! fan-out straggler attribution and slowest-trace exemplars; with
+//! `--min-complete N` the exit status is nonzero unless at least `N`
+//! complete traces were reconstructed (how `scripts/check.sh` asserts the
+//! traced smoke sweep actually produced joined-up traces).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,6 +32,10 @@ fn workspace_root() -> PathBuf {
 fn usage() -> ExitCode {
     eprintln!("usage: cargo run -p xtask -- lint [--format text|json] [--waivers] [ROOT]");
     eprintln!("       cargo run -p xtask -- check-json <FILE>");
+    eprintln!(
+        "       cargo run -p xtask -- trace-report <FILE> [--format text|json] \
+         [--min-complete N] [--exemplars K]"
+    );
     ExitCode::from(2)
 }
 
@@ -32,6 +44,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("check-json") => check_json(&args[1..]),
+        Some("trace-report") => trace_report(&args[1..]),
         _ => usage(),
     }
 }
@@ -141,6 +154,63 @@ fn waivers(root: &std::path::Path, format: &str) -> ExitCode {
         eprintln!("lint: waiver budget exceeded: {} > {}", inventory.len(), xtask::WAIVER_BUDGET);
         ExitCode::FAILURE
     }
+}
+
+fn trace_report(args: &[String]) -> ExitCode {
+    let mut format = "text";
+    let mut min_complete = 0usize;
+    let mut exemplars = 3usize;
+    let mut file: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some(f @ ("text" | "json")) => format = if f == "json" { "json" } else { "text" },
+                _ => return usage(),
+            },
+            "--min-complete" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => min_complete = n,
+                None => return usage(),
+            },
+            "--exemplars" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => exemplars = n,
+                None => return usage(),
+            },
+            _ if arg.starts_with('-') => return usage(),
+            _ => {
+                if file.replace(PathBuf::from(arg)).is_some() {
+                    return usage();
+                }
+            }
+        }
+    }
+    let Some(file) = file else { return usage() };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("trace-report: {}: {err}", file.display());
+            return ExitCode::from(2);
+        }
+    };
+    let spans = match xtask::trace_report::parse_trace(&text) {
+        Ok(spans) => spans,
+        Err(err) => {
+            eprintln!("trace-report: {}: {err}", file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let analysis = xtask::trace_report::analyze(spans);
+    if format == "json" {
+        println!("{}", xtask::trace_report::report_json(&analysis, exemplars));
+    } else {
+        print!("{}", xtask::trace_report::report_text(&analysis, exemplars));
+    }
+    let complete = analysis.complete_traces();
+    if complete < min_complete {
+        eprintln!("trace-report: {complete} complete trace(s) < required {min_complete}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn check_json(args: &[String]) -> ExitCode {

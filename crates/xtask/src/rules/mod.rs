@@ -46,6 +46,11 @@ pub enum Rule {
     /// `Instant::now` / `SystemTime::now` in simulation-crate library code:
     /// simulated results must never depend on the wall clock.
     WallclockInSim,
+    /// A metric or span name argument (`counter(…)`, `gauge(…)`,
+    /// `histogram(…)`, `latency_histogram(…)`, `span(…)`) that is not a
+    /// string literal in library code: the metric namespace must stay
+    /// greppable, and dynamic names can explode snapshot cardinality.
+    DynamicMetricName,
     /// A malformed `lint:allow` waiver: unknown rule name, missing reason,
     /// or unterminated marker. Not waivable.
     BadWaiver,
@@ -53,7 +58,7 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 11] = [
         Rule::NoUnwrap,
         Rule::NondeterministicRng,
         Rule::FloatEq,
@@ -63,6 +68,7 @@ impl Rule {
         Rule::EnvReadOutsideConfig,
         Rule::HashMapIteration,
         Rule::WallclockInSim,
+        Rule::DynamicMetricName,
         Rule::BadWaiver,
     ];
 
@@ -78,6 +84,7 @@ impl Rule {
             Rule::EnvReadOutsideConfig => "env-read-outside-config",
             Rule::HashMapIteration => "hashmap-iteration",
             Rule::WallclockInSim => "wallclock-in-sim",
+            Rule::DynamicMetricName => "dynamic-metric-name",
             Rule::BadWaiver => "bad-waiver",
         }
     }
@@ -130,6 +137,10 @@ pub struct FileClass {
     /// Telemetry (its whole purpose is timing) and `reach-api` rate
     /// limiting (operational, not simulated) are exempt by class.
     pub wallclock_policed: bool,
+    /// Library code whose metric/span names must be string literals:
+    /// [`Rule::DynamicMetricName`] applies. `uof-telemetry` itself (the
+    /// registry plumbing is generic over names) is exempt by class.
+    pub metric_name_policed: bool,
 }
 
 impl FileClass {
@@ -142,6 +153,7 @@ impl FileClass {
         env_policed: true,
         order_policed: true,
         wallclock_policed: true,
+        metric_name_policed: true,
     };
 }
 

@@ -1,5 +1,6 @@
 //! Token-sequence pattern rules: `no-unwrap`, `nondeterministic-rng`,
-//! `thread-spawn`, `no-print-in-library`, `wallclock-in-sim`.
+//! `thread-spawn`, `no-print-in-library`, `wallclock-in-sim`,
+//! `dynamic-metric-name`.
 //!
 //! Each is a short adjacency pattern over the code token stream — e.g.
 //! `.unwrap(` is the token triple `.` `unwrap` `(`. Because string and
@@ -9,6 +10,14 @@
 //! violation the way substring matching allowed.
 
 use super::{Context, Rule, Violation};
+use crate::lexer::TokenKind;
+
+/// Telemetry methods whose first argument names a metric or span. `count`
+/// (the counter convenience on `Telemetry`) is deliberately absent: the
+/// ident collides with `Iterator::count` and the index's `count(world, …)`,
+/// and it delegates to `counter` inside the exempt telemetry crate anyway.
+const METRIC_NAME_METHODS: [&str; 5] =
+    ["counter", "gauge", "histogram", "latency_histogram", "span"];
 
 /// Macro invocation delimiters: `panic!(…)`, `panic![…]`, `panic!{…}`.
 fn is_macro_delim(ctx: &Context<'_>, i: usize) -> bool {
@@ -73,6 +82,21 @@ pub(super) fn check(ctx: &Context<'_>, out: &mut Vec<Violation>) {
             && is_macro_delim(ctx, i + 2)
         {
             out.push(ctx.finding(Rule::NoPrintInLibrary, t));
+        }
+
+        // --- dynamic-metric-name -------------------------------------------
+        // `.counter(x)` where `x` is not a string literal: the token after
+        // the `(` must be a `Str`. The registry lookup methods on snapshots
+        // share these names and are held to the same contract — a dynamic
+        // lookup name is exactly as ungreppable as a dynamic definition.
+        if ctx.class.metric_name_policed
+            && !in_test
+            && t.is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| METRIC_NAME_METHODS.iter().any(|m| n.is_ident(m)))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+            && toks.get(i + 3).is_some_and(|n| n.kind != TokenKind::Str)
+        {
+            out.push(ctx.finding(Rule::DynamicMetricName, &toks[i + 1]));
         }
 
         // --- wallclock-in-sim ----------------------------------------------

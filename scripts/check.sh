@@ -56,6 +56,12 @@ echo "==> router smoke sweep (sharded mode bit-identity, UOF_THREADS=1 and defau
 UOF_THREADS=1 cargo test -q -p reach-api --test router
 cargo test -q -p reach-api --test router
 
+echo "==> traced smoke sweep (UOF_TELEMETRY=1 + trace path; trace-report must reconstruct >= 1 complete trace)"
+TRACE_JSONL="$(mktemp)"
+UOF_TELEMETRY=1 UOF_TELEMETRY_TRACE_PATH="$TRACE_JSONL" cargo test -q -p reach-api --test loopback
+cargo run -q -p xtask -- trace-report "$TRACE_JSONL" --min-complete 1 > /dev/null
+rm -f "$TRACE_JSONL"
+
 echo "==> marketplace smoke sweep (auction/pacing determinism + zero-competition bit-identity, UOF_THREADS=1 and default)"
 UOF_THREADS=1 cargo test -q -p fbsim-marketplace
 UOF_THREADS=1 cargo test -q --test marketplace_equivalence

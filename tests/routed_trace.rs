@@ -1,0 +1,170 @@
+//! End-to-end distributed-trace reconstruction: a pipelined window of
+//! trace-tagged requests through a sharded router deployment must come back
+//! as **complete** trace trees — every wire request exactly once, one
+//! shard-labelled `client.request` hop per backend per fan-out, and every
+//! hop nested inside its parent — when reconstructed by the same
+//! `trace-report` analysis the xtask CLI runs.
+//!
+//! The driving client, the router (frame + handler spans), its per-backend
+//! fan-out clients, and both shard servers all record into the
+//! process-global telemetry here (`telemetry: None` on every config), so
+//! one sink sees the whole deployment on one clock origin. A real
+//! deployment would write one JSONL file per process and concatenate; the
+//! tree reconstruction is identical either way because identity lives in
+//! the `(trace_id, span_id)` pairs, not in the sink.
+
+use std::sync::{Arc, Mutex};
+
+use fbsim_population::index::IndexConfig;
+use fbsim_population::{ShardSpec, World, WorldConfig};
+use reach_api::server::{RateLimitConfig, ServerConfig};
+use reach_api::{ReachClient, ReachRequest, ReachResponse, ReachRouter, ReachServer, RouterConfig};
+use xtask::trace_report::{analyze, parse_trace, Analysis, SpanRec};
+
+const SHARDS: u32 = 2;
+const REQUESTS: usize = 12;
+
+/// An `io::Write` trace sink the test can inspect after detaching.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn generous() -> RateLimitConfig {
+    RateLimitConfig { capacity: 1e6, refill_per_second: 1e6 }
+}
+
+/// The spans of one trace, resolved to records.
+fn spans_of<'a>(analysis: &'a Analysis, tree: &xtask::trace_report::TraceTree) -> Vec<&'a SpanRec> {
+    tree.spans.iter().map(|&i| &analysis.spans[i]).collect()
+}
+
+#[test]
+fn routed_pipelined_requests_reconstruct_complete_traces() {
+    let world = Arc::new(World::generate(WorldConfig::test_scale(2021)).unwrap());
+    let backends: Vec<ReachServer> = (0..SHARDS)
+        .map(|index| {
+            ReachServer::start(
+                Arc::clone(&world),
+                ServerConfig {
+                    shard: Some(ShardSpec { index, count: SHARDS }),
+                    index: IndexConfig::enabled(),
+                    rate_limit: generous(),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind shard backend")
+        })
+        .collect();
+    let router = ReachRouter::start(
+        Arc::clone(&world),
+        backends.iter().map(ReachServer::addr).collect(),
+        RouterConfig { rate_limit: generous(), ..RouterConfig::default() },
+    )
+    .expect("bind router");
+
+    let telemetry = uof_telemetry::global();
+    let was_enabled = telemetry.is_enabled();
+    telemetry.set_enabled(true);
+    let sink = SharedBuf::default();
+    telemetry.attach_trace_writer(Box::new(sink.clone()));
+
+    // One pipelined window: all requests written before any response is
+    // read, so the server sees a real batch, not a ping-pong.
+    let mut client = ReachClient::connect(router.addr()).unwrap();
+    let requests: Vec<ReachRequest> = (0..REQUESTS as u32)
+        .map(|i| ReachRequest::scalar(vec!["US".into(), "ES".into()], vec![i, i + 40]))
+        .collect();
+    let ids: Vec<u64> = requests.iter().map(|r| client.send(r).unwrap()).collect();
+    for (request, id) in requests.iter().zip(ids) {
+        match client.receive(request, id).unwrap() {
+            ReachResponse::Reach { .. } => {}
+            other => panic!("unexpected routed response: {other:?}"),
+        }
+    }
+    drop(client);
+    telemetry.flush_traces();
+    telemetry.detach_trace_writer();
+    telemetry.set_enabled(was_enabled);
+
+    let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+    let analysis = analyze(parse_trace(&text).expect("trace stream parses strictly"));
+    assert_eq!(analysis.identityless, 0, "tracing was on for the whole run");
+
+    // Exactly one complete tree per wire request. (Engine spans inside the
+    // shard computations start fresh roots of their own — childless, hence
+    // never complete — so the count isolates the request trees.)
+    assert_eq!(analysis.complete_traces(), REQUESTS, "{text}");
+
+    // Every wire request appears exactly once across the stream: one
+    // router frame each, one frame per shard backend each.
+    let count = |name: &str| analysis.spans.iter().filter(|s| s.span == name).count();
+    assert_eq!(count("router.frame"), REQUESTS);
+    assert_eq!(count("server.frame"), REQUESTS * SHARDS as usize);
+
+    let complete: Vec<_> = analysis.traces.iter().filter(|t| t.complete).collect();
+    for tree in &complete {
+        let spans = spans_of(&analysis, tree);
+        let named =
+            |name: &str| -> Vec<&&SpanRec> { spans.iter().filter(|s| s.span == name).collect() };
+
+        // Shape: root client hop → router frame → routed handler →
+        // one labelled client hop + server frame + shard handler per shard.
+        let client_hops = named("client.request");
+        // `root` indexes the analysis's span vector, not the tree's.
+        let root = &analysis.spans[tree.root.expect("complete tree has a root")];
+        assert_eq!(root.span, "client.request", "{root:?}");
+        assert_eq!(client_hops.len(), 1 + SHARDS as usize);
+        assert_eq!(named("router.frame").len(), 1);
+        assert_eq!(named("reach.request.scalar").len(), 1);
+        assert_eq!(named("server.frame").len(), SHARDS as usize);
+        assert_eq!(named("reach.request.shard").len(), SHARDS as usize);
+
+        // One hop per shard, each naming a distinct backend.
+        let mut shards: Vec<u64> =
+            client_hops.iter().filter_map(|s| s.field_u64("shard")).collect();
+        shards.sort_unstable();
+        assert_eq!(shards, (0..u64::from(SHARDS)).collect::<Vec<_>>(), "{client_hops:?}");
+
+        // Per-hop durations nest within their parent: every span's
+        // interval is contained in its parent's (one clock origin here, so
+        // start/end are directly comparable). The shard hops deliberately
+        // overlap each other — the fan-out writes all frames before
+        // collecting — so they are bounded individually, not summed.
+        let by_id = |id: u64| spans.iter().find(|s| s.span_id == id);
+        for span in &spans {
+            if span.parent_span_id == 0 {
+                continue;
+            }
+            let parent = by_id(span.parent_span_id).expect("complete tree resolves parents");
+            assert!(
+                span.start_ns >= parent.start_ns
+                    && span.start_ns + span.dur_ns <= parent.start_ns + parent.dur_ns,
+                "child hop leaks outside its parent: {span:?} vs {parent:?}"
+            );
+        }
+
+        // The frame spans carried their queue-wait decomposition.
+        for frame in named("router.frame").iter().chain(named("server.frame").iter()) {
+            assert!(frame.field_u64("queue_ns").is_some(), "{frame:?}");
+        }
+    }
+
+    // The fan-out analysis sees one two-shard fan-out per request, rooted
+    // at the routed handler span.
+    let fanouts: Vec<_> =
+        analysis.fanouts.iter().filter(|f| f.parent_span == "reach.request.scalar").collect();
+    assert_eq!(fanouts.len(), REQUESTS, "{:?}", analysis.fanouts);
+    for fanout in fanouts {
+        assert_eq!(fanout.width, SHARDS as usize);
+        assert!(fanout.straggler_shard < u64::from(SHARDS));
+    }
+}

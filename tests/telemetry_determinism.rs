@@ -119,7 +119,39 @@ fn outputs_bit_identical_across_telemetry_modes_and_thread_counts() {
     }
     telemetry.flush_traces();
     telemetry.detach_trace_writer();
+
+    // Context propagation: the same workload re-run under a span parented
+    // by an explicit caller [`TraceContext`] — the wire-facing tracing mode
+    // (a server parents its frame spans the same way). Outputs must stay
+    // frozen at 1, 4, and the default thread count.
+    let ctx_sink = SharedBuf::default();
+    telemetry.attach_trace_writer(Box::new(ctx_sink.clone()));
+    let ctx_workload = || {
+        let _parent = uof_telemetry::global()
+            .span("test.request")
+            .child_of(Some(uof_telemetry::TraceContext { trace_id: 7, parent_span_id: 1 }))
+            .start();
+        workload()
+    };
+    for threads in [1, 4] {
+        assert_eq!(
+            rayon::with_thread_count(threads, ctx_workload),
+            baseline,
+            "context-propagated output drifted at {threads} threads"
+        );
+    }
+    assert_eq!(ctx_workload(), baseline, "context-propagated output drifted at default threads");
+    telemetry.flush_traces();
+    telemetry.detach_trace_writer();
     telemetry.set_enabled(was_enabled);
+
+    // The parented run emitted spans belonging to the caller's trace.
+    let ctx_raw = ctx_sink.0.lock().unwrap().clone();
+    let ctx_text = String::from_utf8(ctx_raw).unwrap();
+    assert!(
+        ctx_text.lines().any(|l| l.contains("\"test.request\"") && l.contains("\"trace_id\":7")),
+        "no span joined the caller's trace: {ctx_text}"
+    );
 
     // The trace stream is newline-delimited JSON naming the spans we ran.
     let raw = sink.0.lock().unwrap().clone();
